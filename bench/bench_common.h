@@ -1,0 +1,88 @@
+// Shared helpers for the experiment harnesses (bench_*).
+//
+// Each bench binary regenerates one table/figure from DESIGN.md's
+// experiment index and prints it as an aligned text table, plus the
+// paper-claim context so EXPERIMENTS.md can record paper-vs-measured.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "phy/path_loss.h"
+#include "testbed/scenario.h"
+
+namespace lm::bench {
+
+/// Prints the experiment banner.
+inline void banner(const char* id, const char* title, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// printf into a std::string.
+inline std::string format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Fixed-width table printer: feed a header row then data rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        if (r[i].size() > width[i]) width[i] = r[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(width[i]), r[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::string rule;
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      rule += std::string(width[i], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The standard "campus testbed" scenario configuration used across
+/// experiments: log-distance n=3.5 so that 400 m chain neighbors decode
+/// cleanly while 800 m does not (multi-hop topologies emerge from physics),
+/// deterministic links unless a bench opts into shadowing/fading.
+inline testbed::ScenarioConfig campus_config(std::uint64_t seed) {
+  testbed::ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  return c;
+}
+
+/// Chain spacing (m) under campus_config where adjacent nodes decode and
+/// two-hop neighbors sit below sensitivity.
+constexpr double kChainSpacing = 400.0;
+
+}  // namespace lm::bench

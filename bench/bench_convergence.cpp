@@ -1,0 +1,106 @@
+// E2 — routing-table convergence time vs network size.
+//
+// Distance-vector information travels one hop per beacon period, so
+// convergence should grow roughly linearly with network diameter and be a
+// small multiple of the hello interval. Chains stress diameter; random
+// geometric fields stress realistic multi-path layouts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "support/stats.h"
+#include "testbed/topology.h"
+
+using namespace lm;
+
+namespace {
+
+struct Result {
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  int diameter = 0;
+  bool all_converged = true;
+};
+
+Result measure(const std::vector<phy::Position>& positions, Duration hello,
+               const std::vector<std::uint64_t>& seeds) {
+  Result r;
+  lm::RunningStats stats;
+  for (std::uint64_t seed : seeds) {
+    auto cfg = bench::campus_config(seed);
+    cfg.mesh.hello_interval = hello;
+    testbed::MeshScenario s(cfg);
+    s.add_nodes(positions);
+    s.start_all();
+    const auto hops = s.expected_hops();
+    for (const auto& row : hops) {
+      for (int h : row) r.diameter = std::max(r.diameter, h);
+    }
+    const auto elapsed = s.run_until_converged(Duration::hours(4),
+                                               Duration::seconds(5));
+    if (!elapsed) {
+      r.all_converged = false;
+      continue;
+    }
+    stats.add(elapsed->seconds_d());
+  }
+  r.mean_s = stats.mean();
+  r.max_s = stats.max();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E2", "convergence time vs network size",
+                "tables converge within a few hello periods; time grows with "
+                "network diameter (one hop of information per beacon)");
+
+  const std::vector<std::uint64_t> seeds{11, 22, 33};
+  const Duration hello = Duration::seconds(60);
+
+  std::printf("\nchain topologies (hello = 60 s, 3 seeds):\n");
+  bench::Table chains({"nodes", "diameter", "mean convergence", "max",
+                       "mean / hello"});
+  for (std::size_t n : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
+    const auto r = measure(testbed::chain(n, bench::kChainSpacing), hello, seeds);
+    if (!r.all_converged) {
+      // Paths longer than kInfiniteMetric - 1 hops are unroutable by design
+      // (RIP-style bounded metric), so chains beyond 16 nodes cannot fully
+      // converge — the faithful behaviour of the prototype's 8-bit metric.
+      chains.row({std::to_string(n), std::to_string(r.diameter),
+                  "n/a (metric cap 16)", "-", "-"});
+      continue;
+    }
+    chains.row({std::to_string(n), std::to_string(r.diameter),
+                bench::format("%.0f s", r.mean_s), bench::format("%.0f s", r.max_s),
+                bench::format("%.1fx", r.mean_s / hello.seconds_d())});
+  }
+  chains.print();
+
+  std::printf("\nrandom geometric fields (600 m link radius budget, density "
+              "held ~constant):\n");
+  bench::Table fields({"nodes", "field", "diameter", "mean convergence", "max"});
+  for (std::size_t n : {8u, 16u, 24u}) {
+    // Grow the field with N so multi-hop structure persists.
+    const double side = 500.0 * std::sqrt(static_cast<double>(n));
+    Rng rng(1000 + n);
+    const auto positions =
+        testbed::connected_random_field(n, side, side, 550.0, rng);
+    const auto r = measure(positions, hello, seeds);
+    fields.row({std::to_string(n), bench::format("%.0fx%.0f m", side, side),
+                std::to_string(r.diameter), bench::format("%.0f s", r.mean_s),
+                bench::format("%.0f s", r.max_s)});
+  }
+  fields.print();
+
+  std::printf("\nhello-interval sweep on an 8-node chain (ablation):\n");
+  bench::Table sweep({"hello", "mean convergence", "mean / hello"});
+  for (int hello_s : {30, 60, 120, 300}) {
+    const auto r = measure(testbed::chain(8, bench::kChainSpacing),
+                           Duration::seconds(hello_s), seeds);
+    sweep.row({bench::format("%d s", hello_s), bench::format("%.0f s", r.mean_s),
+               bench::format("%.1fx", r.mean_s / hello_s)});
+  }
+  sweep.print();
+  return 0;
+}

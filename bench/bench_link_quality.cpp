@@ -1,0 +1,106 @@
+// E12 — link-quality gating ablation.
+//
+// Hop-count routing has a classic failure mode: a marginal 1-hop link beats
+// a solid 2-hop path on metric, then drops a chunk of the traffic. The
+// gating extension (smoothed received-SNR threshold, LoRaMesher v2's
+// received-SNR tracking) refuses to route through weak neighbors. This
+// bench measures the trade on the canonical trap topology and on a larger
+// field with fading.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/packet_tracker.h"
+#include "testbed/topology.h"
+#include "testbed/traffic.h"
+
+using namespace lm;
+
+namespace {
+
+struct Result {
+  double pdr = 0.0;
+  double p50_ms = 0.0;
+  double mean_hops = 0.0;
+};
+
+testbed::ScenarioConfig make_config(bool gating, std::uint64_t seed) {
+  auto cfg = bench::campus_config(seed);
+  cfg.propagation.fading_sigma_db = 2.0;
+  cfg.mesh.hello_interval = Duration::seconds(30);
+  cfg.mesh.require_link_quality = gating;
+  cfg.mesh.min_snr_margin_db = 6.0;
+  return cfg;
+}
+
+Result run_triangle(bool gating, std::uint64_t seed) {
+  testbed::MeshScenario s(make_config(gating, seed));
+  s.add_node({0.0, 0.0});
+  s.add_node({580.0, 0.0});    // marginal direct link to node 0
+  s.add_node({290.0, 250.0});  // solid relay
+  metrics::PacketTracker tracker;
+  testbed::attach_tracker(s, tracker);
+  s.start_all();
+  s.run_for(Duration::minutes(10));
+
+  testbed::DatagramTraffic traffic(s, tracker, 0, 1,
+                                   {Duration::seconds(20), 16, true}, seed + 1);
+  traffic.start();
+  s.run_for(Duration::hours(2));
+  traffic.stop();
+  s.run_for(Duration::minutes(1));
+  return {tracker.pdr(), 1e3 * tracker.latency().median(), tracker.hops().mean()};
+}
+
+Result run_field(bool gating, std::uint64_t seed) {
+  testbed::MeshScenario s(make_config(gating, seed));
+  // A sparse field: plenty of ~550-620 m marginal shortcuts to fall for.
+  Rng layout(seed);
+  s.add_nodes(testbed::connected_random_field(14, 1800, 1800, 500, layout));
+  metrics::PacketTracker tracker;
+  testbed::attach_tracker(s, tracker);
+  s.start_all();
+  s.run_for(Duration::minutes(15));
+
+  std::vector<std::unique_ptr<testbed::DatagramTraffic>> flows;
+  for (std::size_t f = 0; f < 4; ++f) {
+    flows.push_back(std::make_unique<testbed::DatagramTraffic>(
+        s, tracker, f, 13 - f,
+        testbed::TrafficConfig{Duration::seconds(40), 16, true}, seed + 2 + f));
+    flows.back()->start();
+  }
+  s.run_for(Duration::hours(3));
+  for (auto& f : flows) f->stop();
+  s.run_for(Duration::minutes(1));
+  return {tracker.pdr(), 1e3 * tracker.latency().median(), tracker.hops().mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E12", "link-quality gating vs plain hop count",
+                "refusing marginal neighbors trades a slightly longer path "
+                "for much higher delivery on fading links");
+
+  bench::Table t({"scenario", "gating", "PDR", "p50 latency", "mean hops"});
+  for (const bool gating : {false, true}) {
+    const auto r = run_triangle(gating, 42);
+    t.row({"trap triangle", gating ? "on" : "off",
+           bench::format("%.1f %%", 100 * r.pdr),
+           bench::format("%.0f ms", r.p50_ms),
+           bench::format("%.2f", r.mean_hops)});
+  }
+  for (const bool gating : {false, true}) {
+    const auto r = run_field(gating, 42);
+    t.row({"14-node field", gating ? "on" : "off",
+           bench::format("%.1f %%", 100 * r.pdr),
+           bench::format("%.0f ms", r.p50_ms),
+           bench::format("%.2f", r.mean_hops)});
+  }
+  t.print();
+
+  std::printf("\nnote: the gate holds routes to links with >= 6 dB smoothed "
+              "SNR margin; paths get longer (mean hops up) and delivery "
+              "recovers. On clean deployments the two configurations "
+              "behave identically.\n");
+  return 0;
+}

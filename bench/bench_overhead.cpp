@@ -1,0 +1,65 @@
+// E3 — control-plane overhead vs network size and hello interval.
+//
+// Every node periodically broadcasts its full routing table, so per-node
+// control traffic grows with both beacon rate and table size (network
+// size). This is the central cost of the paper's design; the hello sweep
+// is the overhead/freshness ablation called out in DESIGN.md.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "testbed/topology.h"
+
+using namespace lm;
+
+int main() {
+  bench::banner("E3", "control overhead vs network size and hello interval",
+                "per-node beacon traffic grows with network size; the hello "
+                "interval trades overhead against route freshness");
+
+  const Duration run_time = Duration::hours(6);
+
+  std::printf("\nper-node control overhead over %0.f h of operation "
+              "(random geometric fields):\n",
+              run_time.seconds_d() / 3600.0);
+  bench::Table t({"nodes", "hello", "beacons/node/h", "ctrl B/node/h",
+                  "ctrl airtime s/node/h", "duty used", "beacon size B"});
+  for (std::size_t n : {4u, 8u, 16u, 24u}) {
+    const double side = 500.0 * std::sqrt(static_cast<double>(n));
+    Rng layout_rng(77 + n);
+    const auto positions =
+        testbed::connected_random_field(n, side, side, 550.0, layout_rng);
+    for (int hello_s : {30, 60, 120, 300}) {
+      auto cfg = bench::campus_config(5000 + n * 10 + static_cast<unsigned>(hello_s));
+      cfg.mesh.hello_interval = Duration::seconds(hello_s);
+      testbed::MeshScenario s(cfg);
+      s.add_nodes(positions);
+      s.start_all();
+      s.run_for(run_time);
+
+      const auto total = s.total_stats();
+      const double hours = run_time.seconds_d() / 3600.0;
+      const double per_node_h = 1.0 / (static_cast<double>(n) * hours);
+      const double beacon_bytes =
+          total.beacons_sent > 0
+              ? static_cast<double>(total.control_bytes_sent) /
+                    static_cast<double>(total.beacons_sent)
+              : 0.0;
+      double max_util = 0.0;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        max_util = std::max(
+            max_util, s.node(i).duty_cycle().utilization(s.simulator().now()));
+      }
+      t.row({std::to_string(n), bench::format("%d s", hello_s),
+             bench::format("%.1f", static_cast<double>(total.beacons_sent) * per_node_h),
+             bench::format("%.0f", static_cast<double>(total.control_bytes_sent) * per_node_h),
+             bench::format("%.2f", total.control_airtime.seconds_d() * per_node_h),
+             bench::format("%.2f %%", 100.0 * max_util),
+             bench::format("%.0f", beacon_bytes)});
+    }
+  }
+  t.print();
+
+  std::printf("\nnote: beacon size grows ~3 B per known route, so control "
+              "bytes scale as N * rate * tableSize — superlinear in N.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest useful LoRaMesher program.
+//
+// Three simulated LoRa nodes form a chain (C can only be reached from A
+// through B). The mesh self-organizes via routing beacons; A then sends a
+// text message to C, which B forwards. Run it:
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "phy/path_loss.h"
+#include "support/log.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+using namespace lm;
+
+int main() {
+  // Show the protocol at work: timestamps are simulated time.
+  Logger::instance().set_level(LogLevel::Info);
+
+  // A campus-like radio environment where 400 m links decode cleanly and
+  // 800 m does not — so the only path A -> C is through B.
+  testbed::ScenarioConfig config;
+  config.seed = 1;
+  config.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  config.mesh.hello_interval = Duration::seconds(30);
+
+  testbed::MeshScenario mesh(config);
+  mesh.simulator().attach_logger_time_source();
+  const std::size_t a = mesh.add_node({0, 0});
+  const std::size_t b = mesh.add_node({400, 0});
+  const std::size_t c = mesh.add_node({800, 0});
+
+  // Receive handler on C.
+  mesh.node(c).set_datagram_handler(
+      [&](net::Address origin, const std::vector<std::uint8_t>& payload,
+          std::uint8_t hops) {
+        const std::string text(payload.begin(), payload.end());
+        std::printf(">>> %s received \"%s\" from %s over %u hops\n",
+                    net::to_string(mesh.node(c).address()).c_str(), text.c_str(),
+                    net::to_string(origin).c_str(), hops);
+      });
+
+  // Boot all three nodes and let the distance-vector protocol converge.
+  mesh.start_all();
+  std::printf("waiting for the mesh to form...\n");
+  const auto elapsed = mesh.run_until_converged(Duration::minutes(10));
+  std::printf("mesh converged after %s of simulated time\n\n%s\n",
+              elapsed ? elapsed->to_string().c_str() : "(timeout)",
+              mesh.dump_routing_tables().c_str());
+
+  // Send a message end to end.
+  const std::string text = "hello mesh";
+  if (!mesh.node(a).send_datagram(mesh.address_of(c),
+                                  {text.begin(), text.end()})) {
+    std::printf("send failed: no route to C yet\n");
+    return 1;
+  }
+  mesh.run_for(Duration::seconds(10));
+
+  std::printf("\nB forwarded %llu packet(s); A spent %.1f ms of airtime on "
+              "data this session\n",
+              static_cast<unsigned long long>(mesh.node(b).stats().packets_forwarded),
+              mesh.node(a).stats().data_airtime.seconds_d() * 1e3);
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Remote control: a control station operates valves/relays on far-away
+// nodes over the mesh. Two services share each node via PortMux (port 1:
+// telemetry, unreliable; port 2: commands). Commands ride acked datagrams
+// (NEED_ACK), so the operator knows whether each one arrived — over links
+// with 15 % loss.
+//
+//   ./build/examples/remote_control
+#include <cstdio>
+
+#include "net/port_mux.h"
+#include "phy/path_loss.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+using namespace lm;
+
+namespace {
+constexpr std::uint8_t kTelemetryPort = 1;
+constexpr std::uint8_t kCommandPort = 2;
+}  // namespace
+
+int main() {
+  testbed::ScenarioConfig config;
+  config.seed = 12;
+  config.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  config.propagation.shadowing_sigma_db = 0.0;
+  config.propagation.fading_sigma_db = 0.0;
+  config.mesh.hello_interval = Duration::seconds(30);
+  config.mesh.acked_retry_timeout = Duration::seconds(8);
+
+  testbed::MeshScenario mesh(config);
+  mesh.add_nodes(testbed::chain(4, 400.0));  // station .. 2 relays .. actuator
+  const std::size_t station = 0;
+  const std::size_t actuator = 3;
+
+  // The actuator runs two services on one node.
+  net::PortMux actuator_mux(mesh.node(actuator));
+  bool valve_open = false;
+  actuator_mux.open(kCommandPort, [&](net::Address, const std::vector<std::uint8_t>& cmd,
+                                      std::uint8_t) {
+    if (!cmd.empty()) {
+      valve_open = cmd[0] != 0;
+      std::printf("  [actuator] valve -> %s\n", valve_open ? "OPEN" : "CLOSED");
+    }
+  });
+
+  net::PortMux station_mux(mesh.node(station));
+  int telemetry_received = 0;
+  station_mux.open(kTelemetryPort,
+                   [&](net::Address, const std::vector<std::uint8_t>&,
+                       std::uint8_t) { ++telemetry_received; });
+
+  mesh.start_all();
+  std::printf("waiting for routes to the actuator (3 hops)...\n");
+  if (!mesh.run_until_converged(Duration::minutes(10))) return 1;
+  for (radio::RadioId id = 1; id <= 3; ++id) {
+    mesh.channel().set_link_extra_loss(id, id + 1, 0.15);
+  }
+
+  // Telemetry trickles back (unreliable, fine to lose some)...
+  std::function<void(int)> telemetry = [&](int remaining) {
+    if (remaining == 0) return;
+    actuator_mux.send(mesh.address_of(station), kTelemetryPort, {0x11, 0x22});
+    mesh.simulator().schedule_after(Duration::seconds(30),
+                                    [&, remaining] { telemetry(remaining - 1); });
+  };
+  telemetry(20);
+
+  // ...while the operator toggles the valve with confirmed commands.
+  int confirmed = 0, failed = 0;
+  for (int round = 0; round < 6; ++round) {
+    const std::uint8_t command = round % 2 == 0 ? 1 : 0;
+    std::printf("[station] sending valve %s command...\n",
+                command ? "OPEN" : "CLOSE");
+    // Commands are port-framed by hand so they can use the acked path.
+    std::vector<std::uint8_t> framed{kCommandPort, command};
+    mesh.node(station).send_acked(
+        mesh.address_of(actuator), std::move(framed), [&](bool ok) {
+          ok ? ++confirmed : ++failed;
+          std::printf("[station] command %s\n", ok ? "CONFIRMED" : "FAILED");
+        });
+    mesh.run_for(Duration::minutes(2));
+  }
+  mesh.run_for(Duration::minutes(2));
+
+  std::printf("\nsummary: %d/%d commands confirmed end-to-end "
+              "(%llu retransmissions), %d telemetry readings received, "
+              "valve is %s\n",
+              confirmed, confirmed + failed,
+              static_cast<unsigned long long>(
+                  mesh.node(station).stats().acked_retransmissions),
+              telemetry_received, valve_open ? "OPEN" : "CLOSED");
+  if (failed > 0) {
+    std::printf("(a FAILED command is the mechanism working: the station "
+                "knows it must retry — contrast with fire-and-forget)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Controlled-flooding baseline.
+//
+// The natural alternative to distance-vector routing on tiny LoRa nodes is
+// to flood: every node rebroadcasts every new packet once (TTL-limited,
+// duplicate-suppressed, with random relay jitter to break synchronization).
+// Flooding needs no routing state or beacons but pays for it in airtime —
+// every packet occupies every node's channel — which is exactly the
+// trade-off E4 quantifies against LoRaMesher.
+//
+// Frame format (little-endian, 8-byte header):
+//   dst:u16 origin:u16 packet_id:u16 ttl:u8 hops:u8 payload...
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/address.h"
+#include "net/config.h"
+#include "net/duty_cycle.h"
+#include "radio/radio_interface.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace lm::baseline {
+
+struct FloodConfig {
+  std::uint8_t max_ttl = 8;
+  /// Random delay before relaying, desynchronizing parallel relays (the
+  /// dominant collision source in flooding).
+  Duration rebroadcast_jitter = Duration::milliseconds(500);
+  /// Remembered (origin, packet_id) pairs for duplicate suppression.
+  std::size_t dedup_cache = 512;
+  // Channel access (same scheme as MeshNode).
+  bool use_cad = true;
+  int max_cad_retries = 8;
+  Duration backoff_base = Duration::milliseconds(100);
+  Duration backoff_max = Duration::seconds(4);
+  std::size_t max_queue = 64;
+  double duty_cycle_limit = 0.01;
+  Duration duty_cycle_window = Duration::hours(1);
+};
+
+struct FloodStats {
+  std::uint64_t originated = 0;
+  std::uint64_t relayed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t cad_busy_events = 0;
+  std::uint64_t forced_transmissions = 0;
+  std::uint64_t duty_cycle_delays = 0;
+  std::uint64_t bytes_sent = 0;
+  Duration airtime;
+};
+
+/// The payload limit of one flooded packet.
+constexpr std::size_t kMaxFloodPayload = 255 - 8;
+
+class FloodingNode final : public radio::RadioListener {
+ public:
+  /// (origin, payload, radio links traversed) — a flood addressed to us (or
+  /// broadcast) arrived. A direct neighbor's flood reports 1 hop.
+  using Handler = std::function<void(net::Address origin,
+                                     const std::vector<std::uint8_t>& payload,
+                                     std::uint8_t hops)>;
+
+  FloodingNode(sim::Simulator& sim, radio::Radio& radio,
+               net::Address address, FloodConfig config, std::uint64_t seed);
+  ~FloodingNode() override;
+
+  FloodingNode(const FloodingNode&) = delete;
+  FloodingNode& operator=(const FloodingNode&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Floods `payload` toward `destination` (net::kBroadcast floods to all).
+  bool send(net::Address destination, std::vector<std::uint8_t> payload);
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  net::Address address() const { return address_; }
+  const FloodStats& stats() const { return stats_; }
+
+  // RadioListener
+  void on_frame_received(const std::vector<std::uint8_t>& frame,
+                         const radio::FrameMeta& meta) override;
+  void on_tx_done() override;
+  void on_cad_done(bool channel_active) override;
+
+ private:
+  struct Flood {
+    net::Address dst = net::kBroadcast;
+    net::Address origin = net::kUnassigned;
+    std::uint16_t packet_id = 0;
+    std::uint8_t ttl = 0;
+    std::uint8_t hops = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  static std::vector<std::uint8_t> encode(const Flood& f);
+  static std::optional<Flood> decode(const std::vector<std::uint8_t>& frame);
+
+  bool seen_before(net::Address origin, std::uint16_t packet_id);
+  bool enqueue(Flood f);
+  void pump();
+  void channel_busy_backoff();
+  void transmit_now();
+
+  sim::Simulator& sim_;
+  radio::Radio& radio_;
+  const net::Address address_;
+  FloodConfig config_;
+  Rng rng_;
+  net::DutyCycleLimiter duty_;
+  FloodStats stats_;
+  Handler handler_;
+
+  bool running_ = false;
+  enum class TxPhase : std::uint8_t { Idle, WaitingDuty, Cad, Backoff, Transmitting };
+  TxPhase tx_phase_ = TxPhase::Idle;
+  std::deque<Flood> queue_;
+  std::optional<Flood> current_;
+  int cad_attempts_ = 0;
+  sim::TimerId pipeline_timer_ = 0;
+  std::uint16_t next_packet_id_ = 1;
+
+  std::set<std::pair<net::Address, std::uint16_t>> seen_;
+  std::deque<std::pair<net::Address, std::uint16_t>> seen_order_;
+};
+
+}  // namespace lm::baseline

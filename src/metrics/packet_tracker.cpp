@@ -1,0 +1,50 @@
+#include "metrics/packet_tracker.h"
+
+#include "support/assert.h"
+#include "support/byte_codec.h"
+
+namespace lm::metrics {
+
+std::uint64_t PacketTracker::register_send(TimePoint now) {
+  const std::uint64_t token = next_token_++;
+  pending_.emplace(token, Pending{now, false});
+  return token;
+}
+
+std::vector<std::uint8_t> PacketTracker::make_payload(std::uint64_t token,
+                                                      std::size_t size) {
+  LM_REQUIRE(size >= 8);
+  ByteWriter w;
+  w.u64(token);
+  std::vector<std::uint8_t> out = w.take();
+  out.resize(size, 0);
+  return out;
+}
+
+std::optional<std::uint64_t> PacketTracker::extract_token(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 8) return std::nullopt;
+  ByteReader r(payload.subspan(0, 8));
+  return r.u64();
+}
+
+void PacketTracker::register_delivery(std::uint64_t token, TimePoint now,
+                                      std::uint8_t hops) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;  // token from another tracker/run
+  if (it->second.delivered) {
+    duplicates_++;
+    return;
+  }
+  it->second.delivered = true;
+  delivered_++;
+  latency_.add((now - it->second.sent_at).seconds_d());
+  hops_.add(static_cast<double>(hops));
+}
+
+double PacketTracker::pdr() const {
+  if (next_token_ == 0) return 0.0;
+  return static_cast<double>(delivered_) / static_cast<double>(next_token_);
+}
+
+}  // namespace lm::metrics

@@ -1,0 +1,69 @@
+// End-to-end delivery accounting.
+//
+// Workload generators register every application send and stamp the issued
+// token into the first 8 payload bytes; the receiving handler extracts the
+// token and reports the delivery. The tracker then yields the PDR, latency
+// distribution and hop distribution a bench table needs. Tokens are opaque
+// sequence numbers, so duplicates and reordering are detected exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/stats.h"
+#include "support/time.h"
+
+namespace lm::metrics {
+
+class PacketTracker {
+ public:
+  /// Registers an attempted send at `now`; returns the token to embed.
+  std::uint64_t register_send(TimePoint now);
+
+  /// Builds a payload of exactly `size` bytes (>= 8) carrying `token` in its
+  /// first 8 bytes, zero-padded.
+  static std::vector<std::uint8_t> make_payload(std::uint64_t token, std::size_t size);
+
+  /// Token from a payload built by make_payload; nullopt if too short.
+  static std::optional<std::uint64_t> extract_token(
+      std::span<const std::uint8_t> payload);
+
+  /// The network refused the send (no route / queue full).
+  void register_refused() { refused_++; }
+
+  /// A payload with `token` reached its destination after `hops` hops.
+  /// Duplicate deliveries of the same token are counted separately and do
+  /// not affect PDR.
+  void register_delivery(std::uint64_t token, TimePoint now, std::uint8_t hops);
+
+  // --- Results ---------------------------------------------------------------
+  std::uint64_t attempted() const { return next_token_; }
+  std::uint64_t refused() const { return refused_; }
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+  /// delivered / attempted (attempted includes refused sends: a send the
+  /// network would not accept is a delivery failure for the application).
+  double pdr() const;
+  /// Seconds from send to first delivery.
+  const Histogram& latency() const { return latency_; }
+  const Histogram& hops() const { return hops_; }
+
+ private:
+  struct Pending {
+    TimePoint sent_at;
+    bool delivered = false;
+  };
+
+  std::uint64_t next_token_ = 0;
+  std::uint64_t refused_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::map<std::uint64_t, Pending> pending_;
+  Histogram latency_;
+  Histogram hops_;
+};
+
+}  // namespace lm::metrics

@@ -1,0 +1,21 @@
+// Mesh-layer addressing.
+//
+// LoRaMesher derives a 16-bit node address from the device MAC; here the
+// testbed assigns them. 0x0000 is reserved as "unassigned" and 0xFFFF is the
+// link-local broadcast address (routing beacons).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lm::net {
+
+using Address = std::uint16_t;
+
+constexpr Address kUnassigned = 0x0000;
+constexpr Address kBroadcast = 0xFFFF;
+
+/// "0x00A3"-style rendering for logs.
+std::string to_string(Address a);
+
+}  // namespace lm::net

@@ -1,0 +1,18 @@
+#include "net/address_util.h"
+
+namespace lm::net {
+
+Address address_from_mac(std::uint64_t mac) {
+  // SplitMix64-style avalanche so vendor-prefixed MACs (identical high
+  // bits) spread across the address space, then fold to 16 bits.
+  std::uint64_t z = mac + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  auto address = static_cast<Address>(z ^ (z >> 16) ^ (z >> 32) ^ (z >> 48));
+  if (address == kUnassigned) address = 0x0001;
+  if (address == kBroadcast) address = 0xFFFE;
+  return address;
+}
+
+}  // namespace lm::net

@@ -1,0 +1,22 @@
+// Address derivation, matching how LoRaMesher assigns node addresses on
+// real hardware: the 16-bit address is folded from the device's unique MAC
+// (the ESP32 efuse MAC in the original). Folding can collide — deployments
+// must check, which is why the helpers are separated from assignment.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.h"
+
+namespace lm::net {
+
+/// Folds a 48/64-bit hardware identifier into a usable mesh address,
+/// never producing kUnassigned or kBroadcast.
+Address address_from_mac(std::uint64_t mac);
+
+/// True for addresses usable as a node identity.
+constexpr bool is_valid_node_address(Address a) {
+  return a != kUnassigned && a != kBroadcast;
+}
+
+}  // namespace lm::net

@@ -1,0 +1,57 @@
+#include "net/duty_cycle.h"
+
+#include "support/assert.h"
+
+namespace lm::net {
+
+DutyCycleLimiter::DutyCycleLimiter(double limit_fraction, Duration window)
+    : limit_(limit_fraction), window_(window), budget_(window * limit_fraction) {
+  LM_REQUIRE(limit_fraction > 0.0);
+  LM_REQUIRE(window > Duration::zero());
+}
+
+void DutyCycleLimiter::prune(TimePoint now) const {
+  while (!emissions_.empty() && emissions_.front().first + window_ <= now) {
+    emissions_.pop_front();
+  }
+}
+
+Duration DutyCycleLimiter::consumed(TimePoint now) const {
+  prune(now);
+  Duration sum = Duration::zero();
+  for (const auto& [start, airtime] : emissions_) sum += airtime;
+  return sum;
+}
+
+bool DutyCycleLimiter::allowed(TimePoint now, Duration airtime) const {
+  if (!enforced()) return true;
+  return consumed(now) + airtime <= budget_;
+}
+
+TimePoint DutyCycleLimiter::next_allowed(TimePoint now, Duration airtime) const {
+  if (!enforced()) return now;
+  LM_REQUIRE(airtime <= budget_);
+  prune(now);
+  Duration sum = Duration::zero();
+  for (const auto& [start, spent] : emissions_) sum += spent;
+  if (sum + airtime <= budget_) return now;
+  // Walk forward through expirations until enough budget frees up.
+  for (const auto& [start, spent] : emissions_) {
+    sum -= spent;
+    if (sum + airtime <= budget_) return start + window_;
+  }
+  LM_ASSERT(false);  // unreachable: airtime <= budget_ and sum reaches zero
+}
+
+void DutyCycleLimiter::record(TimePoint now, Duration airtime) {
+  LM_REQUIRE(airtime >= Duration::zero());
+  if (!enforced()) return;
+  LM_REQUIRE(emissions_.empty() || emissions_.back().first <= now);
+  emissions_.emplace_back(now, airtime);
+}
+
+double DutyCycleLimiter::utilization(TimePoint now) const {
+  return consumed(now) / window_;
+}
+
+}  // namespace lm::net

@@ -1,0 +1,50 @@
+// Sliding-window duty-cycle limiter (EU868-style).
+//
+// Regulation caps the fraction of time a device may occupy the band (1 % in
+// EU868 sub-bands LoRaMesher targets). The limiter accounts every emission
+// for `window` after its start; a transmission is admitted only while the
+// accounted airtime plus the new frame stays within limit * window. The node
+// defers (never drops) over-budget transmissions to the earliest compliant
+// instant.
+#pragma once
+
+#include <deque>
+
+#include "support/time.h"
+
+namespace lm::net {
+
+class DutyCycleLimiter {
+ public:
+  /// limit >= 1.0 disables enforcement.
+  DutyCycleLimiter(double limit_fraction, Duration window);
+
+  /// Whether spending `airtime` starting at `now` stays within budget.
+  bool allowed(TimePoint now, Duration airtime) const;
+
+  /// Earliest t >= now at which `airtime` may be spent. Requires
+  /// airtime <= budget (a single frame can never exceed the whole budget).
+  TimePoint next_allowed(TimePoint now, Duration airtime) const;
+
+  /// Records an admitted emission starting at `now`.
+  void record(TimePoint now, Duration airtime);
+
+  /// Airtime accounted within the window ending at `now`.
+  Duration consumed(TimePoint now) const;
+
+  /// consumed / window — compare against the limit fraction.
+  double utilization(TimePoint now) const;
+
+  bool enforced() const { return limit_ < 1.0; }
+  Duration budget() const { return budget_; }
+
+ private:
+  void prune(TimePoint now) const;
+
+  double limit_;
+  Duration window_;
+  Duration budget_;
+  mutable std::deque<std::pair<TimePoint, Duration>> emissions_;
+};
+
+}  // namespace lm::net

@@ -1,0 +1,211 @@
+// The LoRaMesher over-the-air packet family.
+//
+// Every frame starts with a 5-byte link header addressing the next hop.
+// Unicast packets additionally carry an 8-byte route header addressing the
+// final destination, so intermediate nodes can forward without touching the
+// payload. The reliable large-payload machinery (paper: "XL packets") adds
+// small control packets: SYNC announces a transfer, SYNC_ACK accepts it,
+// FRAGMENT carries one piece, LOST requests retransmissions, DONE confirms
+// completion and POLL asks the receiver for its status.
+//
+// Wire layout (little-endian):
+//   LinkHeader:  link_dst:u16  link_src:u16  type:u8
+//   RouteHeader: final_dst:u16 origin:u16 ttl:u8 hops:u8 packet_id:u16
+//
+// Frame size is capped by the SX127x 255-byte FIFO; kMaxDataPayload /
+// kMaxFragmentPayload expose the resulting application MTUs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/address.h"
+#include "net/role.h"
+
+namespace lm::net {
+
+enum class PacketType : std::uint8_t {
+  Routing = 1,    // broadcast distance-vector table
+  Data = 2,       // unreliable routed datagram
+  Sync = 3,       // reliable transfer: announcement
+  SyncAck = 4,    // reliable transfer: receiver ready
+  Fragment = 5,   // reliable transfer: one payload piece
+  Lost = 6,       // reliable transfer: retransmission request
+  Done = 7,       // reliable transfer: completion confirmation
+  Poll = 8,       // reliable transfer: sender status query
+  AckedData = 9,  // single datagram wanting an end-to-end ACK ("NEED_ACK")
+  Ack = 10,       // end-to-end acknowledgment of one AckedData
+};
+
+const char* to_string(PacketType t);
+
+/// Addresses the next hop on the air. The default dst is kUnassigned
+/// ("route me"): MeshNode resolves it to the next hop at transmit time.
+/// Broadcast must be requested explicitly — a defaulted header that leaks
+/// to the air as broadcast makes every neighbor forward the packet.
+struct LinkHeader {
+  Address dst = kUnassigned;  // next hop, kBroadcast, or kUnassigned
+  Address src = kUnassigned;  // transmitting node
+  PacketType type = PacketType::Data;
+
+  friend bool operator==(const LinkHeader&, const LinkHeader&) = default;
+};
+
+/// Addresses the end-to-end path; present on every unicast packet.
+struct RouteHeader {
+  Address final_dst = kUnassigned;
+  Address origin = kUnassigned;
+  std::uint8_t ttl = 0;        // decremented per hop; 0 is dropped
+  std::uint8_t hops = 0;       // incremented per hop (metrics/diagnostics)
+  std::uint16_t packet_id = 0; // origin-scoped, for duplicate suppression
+
+  friend bool operator==(const RouteHeader&, const RouteHeader&) = default;
+};
+
+constexpr std::size_t kLinkHeaderSize = 5;
+constexpr std::size_t kRouteHeaderSize = 8;
+
+/// Application MTU of an unreliable datagram.
+constexpr std::size_t kMaxDataPayload = 255 - kLinkHeaderSize - kRouteHeaderSize;  // 242
+/// Payload capacity of one reliable-transfer fragment (3 bytes of
+/// seq/index overhead).
+constexpr std::size_t kMaxFragmentPayload = kMaxDataPayload - 3;  // 239
+/// Fragment indices one LOST packet can carry.
+constexpr std::size_t kMaxLostIndices = (kMaxDataPayload - 2) / 2;  // 120
+
+/// One advertised route in a routing beacon. The sender also advertises
+/// itself (metric 0) so its role propagates.
+struct RoutingEntry {
+  Address address = kUnassigned;
+  std::uint8_t metric = 0;  // hop count; >= kInfiniteMetric means unreachable
+  Role role = roles::kNone;
+
+  friend bool operator==(const RoutingEntry&, const RoutingEntry&) = default;
+};
+
+/// Entries one routing beacon can carry (4 B each).
+constexpr std::size_t kMaxRoutingEntries = (255 - kLinkHeaderSize - 1) / 4;  // 62
+
+// --- Packet bodies ----------------------------------------------------------
+
+struct RoutingPacket {
+  LinkHeader link;  // link.dst == kBroadcast
+  std::vector<RoutingEntry> entries;
+
+  friend bool operator==(const RoutingPacket&, const RoutingPacket&) = default;
+};
+
+struct DataPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const DataPacket&, const DataPacket&) = default;
+};
+
+struct SyncPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+  std::uint16_t fragment_count = 0;
+  std::uint32_t total_bytes = 0;
+
+  friend bool operator==(const SyncPacket&, const SyncPacket&) = default;
+};
+
+struct SyncAckPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+
+  friend bool operator==(const SyncAckPacket&, const SyncAckPacket&) = default;
+};
+
+struct FragmentPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+  std::uint16_t index = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const FragmentPacket&, const FragmentPacket&) = default;
+};
+
+struct LostPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+  std::vector<std::uint16_t> missing;  // <= kMaxLostIndices
+
+  friend bool operator==(const LostPacket&, const LostPacket&) = default;
+};
+
+struct DonePacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+
+  friend bool operator==(const DonePacket&, const DonePacket&) = default;
+};
+
+struct PollPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint8_t seq = 0;
+
+  friend bool operator==(const PollPacket&, const PollPacket&) = default;
+};
+
+/// A single datagram that wants an end-to-end ACK; the route header's
+/// packet_id identifies it for the acknowledgment and for duplicate
+/// suppression at the receiver (the sender retries with the same id).
+struct AckedDataPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const AckedDataPacket&, const AckedDataPacket&) = default;
+};
+
+struct AckPacket {
+  LinkHeader link;
+  RouteHeader route;
+  std::uint16_t acked_id = 0;  // packet_id of the AckedData being confirmed
+
+  friend bool operator==(const AckPacket&, const AckPacket&) = default;
+};
+
+using Packet =
+    std::variant<RoutingPacket, DataPacket, SyncPacket, SyncAckPacket,
+                 FragmentPacket, LostPacket, DonePacket, PollPacket,
+                 AckedDataPacket, AckPacket>;
+
+// --- Codec ------------------------------------------------------------------
+
+/// Serializes any packet to its on-air frame. Throws ContractViolation when a
+/// field exceeds its wire capacity (caller bug).
+std::vector<std::uint8_t> encode(const Packet& packet);
+
+/// Parses an on-air frame. Returns nullopt for malformed frames (wrong
+/// length, unknown type, truncated fields) — corrupted radio input is an
+/// expected condition, never an exception.
+std::optional<Packet> decode(const std::vector<std::uint8_t>& frame);
+
+/// Link header of any packet without fully decoding it.
+const LinkHeader& link_of(const Packet& packet);
+LinkHeader& link_of(Packet& packet);
+
+/// Route header access; nullptr for RoutingPacket (which has none).
+const RouteHeader* route_of(const Packet& packet);
+RouteHeader* route_of(Packet& packet);
+
+/// Encoded size in bytes without materializing the frame.
+std::size_t encoded_size(const Packet& packet);
+
+/// One-line human rendering for traces.
+std::string describe(const Packet& packet);
+
+}  // namespace lm::net

@@ -1,0 +1,30 @@
+// Interface the reliable-transfer sessions use to emit packets through
+// their owning node, breaking the MeshNode <-> session include cycle.
+#pragma once
+
+#include "net/address.h"
+#include "net/packet.h"
+
+namespace lm::net {
+
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Enqueues a control packet (SYNC/SYNC_ACK/LOST/DONE/POLL) for
+  /// transmission with control priority. The node fills the link header's
+  /// next hop at transmit time.
+  virtual void submit_control(Packet packet) = 0;
+
+  /// Enqueues a data-plane packet (FRAGMENT) with data priority.
+  virtual void submit_data(Packet packet) = 0;
+
+  /// This node's mesh address.
+  virtual Address self_address() const = 0;
+
+  /// A fresh route header originated here and bound for `final_dst`
+  /// (fills origin, ttl, packet_id).
+  virtual RouteHeader make_route(Address final_dst) = 0;
+};
+
+}  // namespace lm::net

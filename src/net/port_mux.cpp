@@ -1,0 +1,52 @@
+#include "net/port_mux.h"
+
+#include "support/assert.h"
+
+namespace lm::net {
+
+PortMux::PortMux(MeshNode& node) : node_(node) {
+  node_.set_datagram_handler(
+      [this](Address origin, const std::vector<std::uint8_t>& payload,
+             std::uint8_t hops) { dispatch(origin, payload, hops); });
+}
+
+PortMux::~PortMux() { node_.set_datagram_handler(nullptr); }
+
+void PortMux::open(std::uint8_t port, Handler handler) {
+  LM_REQUIRE(handler != nullptr);
+  handlers_[port] = std::move(handler);
+}
+
+void PortMux::close(std::uint8_t port) { handlers_[port] = nullptr; }
+
+bool PortMux::is_open(std::uint8_t port) const {
+  return handlers_[port] != nullptr;
+}
+
+bool PortMux::send(Address destination, std::uint8_t port,
+                   std::vector<std::uint8_t> payload) {
+  if (payload.size() > kMaxPortPayload) return false;
+  std::vector<std::uint8_t> framed;
+  framed.reserve(payload.size() + 1);
+  framed.push_back(port);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  return node_.send_datagram(destination, std::move(framed));
+}
+
+void PortMux::dispatch(Address origin, const std::vector<std::uint8_t>& payload,
+                       std::uint8_t hops) {
+  if (payload.empty()) {
+    dropped_empty_++;
+    return;
+  }
+  const std::uint8_t port = payload.front();
+  if (handlers_[port] == nullptr) {
+    dropped_unknown_port_++;
+    return;
+  }
+  delivered_[port]++;
+  const std::vector<std::uint8_t> body(payload.begin() + 1, payload.end());
+  handlers_[port](origin, body, hops);
+}
+
+}  // namespace lm::net

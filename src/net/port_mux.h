@@ -1,0 +1,68 @@
+// Application multiplexing over one MeshNode.
+//
+// LoRaMesher hands the application a single datagram stream; real
+// deployments run several services on one device (telemetry, commands,
+// time sync...). PortMux prefixes each payload with a 1-byte port and
+// demultiplexes inbound datagrams to per-port handlers — the same pattern
+// UDP ports serve, scaled down to a 1-byte space and a 241-byte MTU.
+//
+// The mux installs itself as the node's datagram handler; at most one
+// PortMux per node, and services must not replace the node's handler while
+// a mux is attached.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/mesh_node.h"
+
+namespace lm::net {
+
+/// MTU of a port-addressed datagram (one byte goes to the port).
+constexpr std::size_t kMaxPortPayload = kMaxDataPayload - 1;
+
+class PortMux {
+ public:
+  /// (origin, payload, hops) — payload excludes the port byte.
+  using Handler = std::function<void(Address origin,
+                                     const std::vector<std::uint8_t>& payload,
+                                     std::uint8_t hops)>;
+
+  /// Attaches to `node` (replaces its datagram handler). The node must
+  /// outlive the mux.
+  explicit PortMux(MeshNode& node);
+  ~PortMux();
+
+  PortMux(const PortMux&) = delete;
+  PortMux& operator=(const PortMux&) = delete;
+
+  /// Registers a service on `port`; replaces any previous handler.
+  void open(std::uint8_t port, Handler handler);
+  /// Unregisters; inbound datagrams for the port are then counted dropped.
+  void close(std::uint8_t port);
+  bool is_open(std::uint8_t port) const;
+
+  /// Sends `payload` to the same port on `destination`.
+  /// Same failure modes as MeshNode::send_datagram, plus payload-size
+  /// checks against kMaxPortPayload.
+  bool send(Address destination, std::uint8_t port,
+            std::vector<std::uint8_t> payload);
+
+  std::uint64_t delivered(std::uint8_t port) const { return delivered_[port]; }
+  std::uint64_t dropped_unknown_port() const { return dropped_unknown_port_; }
+  std::uint64_t dropped_empty() const { return dropped_empty_; }
+
+ private:
+  void dispatch(Address origin, const std::vector<std::uint8_t>& payload,
+                std::uint8_t hops);
+
+  MeshNode& node_;
+  std::array<Handler, 256> handlers_{};
+  std::array<std::uint64_t, 256> delivered_{};
+  std::uint64_t dropped_unknown_port_ = 0;
+  std::uint64_t dropped_empty_ = 0;
+};
+
+}  // namespace lm::net

@@ -1,0 +1,28 @@
+// Node roles, advertised with every routing entry.
+//
+// LoRaMesher nodes are peers, but deployments still contain special nodes —
+// typically one or two mesh-to-Internet gateways. The released library
+// attaches a role byte to each routing-table entry (NetworkNode::role) so
+// that any node can ask "where is the nearest gateway?" without knowing the
+// deployment layout; this reproduction does the same. Roles are a bitmask,
+// so a node can be several things at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lm::net {
+
+using Role = std::uint8_t;
+
+namespace roles {
+constexpr Role kNone = 0;
+constexpr Role kGateway = 1u << 0;  // bridges the mesh to the outside world
+constexpr Role kSink = 1u << 1;     // data collection point
+constexpr Role kRelayOnly = 1u << 2;  // forwards but hosts no application
+}  // namespace roles
+
+/// "gateway|sink"-style rendering for logs; "-" for kNone.
+std::string role_to_string(Role role);
+
+}  // namespace lm::net

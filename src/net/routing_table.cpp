@@ -1,0 +1,249 @@
+#include "net/routing_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/assert.h"
+#include "support/byte_codec.h"
+
+namespace lm::net {
+
+RoutingTable::RoutingTable(Address self, Duration route_timeout,
+                           std::uint8_t max_metric, Role own_role)
+    : self_(self),
+      route_timeout_(route_timeout),
+      max_metric_(max_metric),
+      own_role_(own_role) {
+  LM_REQUIRE(self != kUnassigned && self != kBroadcast);
+  LM_REQUIRE(route_timeout > Duration::zero());
+  LM_REQUIRE(max_metric >= 2);
+}
+
+RouteEntry* RoutingTable::find(Address destination) {
+  for (RouteEntry& e : entries_) {
+    if (e.destination == destination) return &e;
+  }
+  return nullptr;
+}
+
+const RouteEntry* RoutingTable::find(Address destination) const {
+  return const_cast<RoutingTable*>(this)->find(destination);
+}
+
+bool RoutingTable::apply_beacon(Address neighbor,
+                                const std::vector<RoutingEntry>& entries,
+                                TimePoint now) {
+  LM_REQUIRE(neighbor != kBroadcast && neighbor != kUnassigned);
+  if (neighbor == self_) return false;  // own beacon echoed back — ignore
+  bool changed = false;
+  const TimePoint deadline = now + route_timeout_;
+
+  // (a) The sender itself is a 1-hop neighbor. Its role arrives with its
+  // metric-0 self entry in step (b); keep whatever we know meanwhile.
+  if (RouteEntry* direct = find(neighbor)) {
+    if (direct->metric != 1 || direct->via != neighbor) {
+      direct->metric = 1;
+      direct->via = neighbor;
+      changed = true;
+    }
+    direct->expires_at = deadline;
+  } else {
+    entries_.push_back(RouteEntry{neighbor, neighbor, 1, roles::kNone, deadline});
+    changed = true;
+  }
+
+  // (b) Bellman-Ford on the advertised entries. The sender's own metric-0
+  // entry lands here too (adv.address == neighbor): it refreshes the direct
+  // route and carries the sender's role.
+  for (const RoutingEntry& adv : entries) {
+    if (adv.address == self_ || adv.address == kBroadcast ||
+        adv.address == kUnassigned) {
+      continue;
+    }
+    // Only the sender may claim metric 0 (its self entry); a zero metric
+    // for anyone else is a malformed or spoofed advertisement.
+    if (adv.metric == 0 && adv.address != neighbor) continue;
+    const std::uint8_t candidate = static_cast<std::uint8_t>(
+        std::min<int>(adv.metric + 1, max_metric_));
+    RouteEntry* cur = find(adv.address);
+    if (cur == nullptr) {
+      if (candidate < max_metric_) {
+        entries_.push_back(
+            RouteEntry{adv.address, neighbor, candidate, adv.role, deadline});
+        changed = true;
+      }
+      continue;
+    }
+    if (cur->via == neighbor) {
+      // Our next hop re-advertised the route: follow it unconditionally
+      // (bad news must stick), withdrawing on saturation.
+      if (candidate >= max_metric_ && adv.address != neighbor) {
+        std::erase_if(entries_, [&](const RouteEntry& e) {
+          return e.destination == adv.address;
+        });
+        changed = true;
+        continue;
+      }
+      if (cur->metric != candidate && adv.address != neighbor) {
+        cur->metric = candidate;
+        changed = true;
+      }
+      if (cur->role != adv.role) {
+        cur->role = adv.role;
+        changed = true;
+      }
+      cur->expires_at = deadline;
+    } else if (candidate < cur->metric) {
+      cur->via = neighbor;
+      cur->metric = candidate;
+      cur->role = adv.role;
+      cur->expires_at = deadline;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::size_t RoutingTable::expire(TimePoint now) {
+  // Direct casualties: hold timer lapsed.
+  std::size_t removed = std::erase_if(
+      entries_, [now](const RouteEntry& e) { return e.expires_at <= now; });
+  // Cascade: a route is only usable while its next hop is a live neighbor.
+  // (Entries via a dead neighbor stop being refreshed and would lapse on
+  // their own within one timeout; removing them now keeps the table
+  // internally consistent — next_hop() never returns a vanished neighbor.)
+  if (removed > 0) {
+    for (;;) {
+      const std::size_t cascade = std::erase_if(entries_, [this](const RouteEntry& e) {
+        return e.via != e.destination && find(e.via) == nullptr;
+      });
+      if (cascade == 0) break;
+      removed += cascade;
+    }
+  }
+  return removed;
+}
+
+std::optional<RouteEntry> RoutingTable::route_to(Address destination) const {
+  const RouteEntry* e = find(destination);
+  if (e == nullptr || e->metric >= max_metric_) return std::nullopt;
+  return *e;
+}
+
+std::optional<Address> RoutingTable::next_hop(Address destination) const {
+  const auto r = route_to(destination);
+  if (!r) return std::nullopt;
+  return r->via;
+}
+
+std::vector<RouteEntry> RoutingTable::routes_with_role(Role role_mask) const {
+  std::vector<RouteEntry> out;
+  for (const RouteEntry& e : entries_) {
+    if (e.metric < max_metric_ && (e.role & role_mask) == role_mask) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<RouteEntry> RoutingTable::nearest_with_role(Role role_mask) const {
+  std::optional<RouteEntry> best;
+  for (const RouteEntry& e : routes_with_role(role_mask)) {
+    if (!best || e.metric < best->metric ||
+        (e.metric == best->metric && e.destination < best->destination)) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+std::vector<RoutingEntry> RoutingTable::advertisement() const {
+  std::vector<RoutingEntry> adv;
+  adv.reserve(entries_.size() + 1);
+  adv.push_back(RoutingEntry{self_, 0, own_role_});  // carries our role
+  for (const RouteEntry& e : entries_) {
+    adv.push_back(RoutingEntry{e.destination, e.metric, e.role});
+  }
+  std::sort(adv.begin(), adv.end(), [](const RoutingEntry& a, const RoutingEntry& b) {
+    if (a.metric != b.metric) return a.metric < b.metric;
+    return a.address < b.address;
+  });
+  if (adv.size() > kMaxRoutingEntries) adv.resize(kMaxRoutingEntries);
+  std::sort(adv.begin(), adv.end(), [](const RoutingEntry& a, const RoutingEntry& b) {
+    return a.address < b.address;
+  });
+  return adv;
+}
+
+namespace {
+constexpr std::uint8_t kSnapshotVersion = 1;
+}
+
+std::vector<std::uint8_t> RoutingTable::serialize(TimePoint now) const {
+  ByteWriter w;
+  w.u8(kSnapshotVersion);
+  w.u16(self_);
+  w.u16(static_cast<std::uint16_t>(entries_.size()));
+  for (const RouteEntry& e : entries_) {
+    w.u16(e.destination);
+    w.u16(e.via);
+    w.u8(e.metric);
+    w.u8(e.role);
+    const Duration remaining = e.expires_at - now;
+    w.u32(static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, remaining.ms())));
+  }
+  return w.take();
+}
+
+bool RoutingTable::restore(std::span<const std::uint8_t> snapshot, TimePoint now,
+                           Duration downtime) {
+  LM_REQUIRE(entries_.empty());
+  LM_REQUIRE(!downtime.is_negative());
+  ByteReader r(snapshot);
+  if (r.u8() != kSnapshotVersion) return false;
+  if (r.u16() != self_) return false;  // snapshot belongs to another node
+  const std::uint16_t count = r.u16();
+  std::vector<RouteEntry> restored;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    RouteEntry e;
+    e.destination = r.u16();
+    e.via = r.u16();
+    e.metric = r.u8();
+    e.role = r.u8();
+    const Duration remaining = Duration::milliseconds(r.u32()) - downtime;
+    if (!r.ok()) return false;
+    if (remaining <= Duration::zero()) continue;  // lapsed while powered off
+    if (e.destination == self_ || e.destination == kBroadcast ||
+        e.destination == kUnassigned || e.metric == 0 ||
+        e.metric > max_metric_) {
+      return false;  // corrupt snapshot: refuse it wholesale
+    }
+    e.expires_at = now + remaining;
+    restored.push_back(e);
+  }
+  if (!r.exhausted()) return false;
+  entries_ = std::move(restored);
+  return true;
+}
+
+std::string RoutingTable::to_string() const {
+  std::string out = "routing table of " + lm::net::to_string(self_) + " (" +
+                    std::to_string(entries_.size()) + " entries)\n";
+  std::vector<RouteEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              return a.destination < b.destination;
+            });
+  char line[128];
+  for (const RouteEntry& e : sorted) {
+    std::snprintf(line, sizeof line, "  dst=%s via=%s metric=%u role=%s\n",
+                  lm::net::to_string(e.destination).c_str(),
+                  lm::net::to_string(e.via).c_str(), e.metric,
+                  role_to_string(e.role).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace lm::net

@@ -1,0 +1,115 @@
+// Distance-vector routing table — the heart of LoRaMesher.
+//
+// Every node periodically broadcasts its table as (destination, metric)
+// pairs. A receiver (a) learns the sender as a 1-hop neighbor, and (b) runs
+// the distributed Bellman-Ford update on each advertised entry: adopt a
+// route when it is new or strictly better, and always follow the current
+// next hop's own advertisement (even when it got worse) so bad news
+// propagates. Convergence pathologies are bounded RIP-style: metrics
+// saturate at kInfiniteMetric (treated as unreachable) and every entry
+// carries a hold timer refreshed only by its own next hop, so silent
+// neighbors age out together with everything learned through them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/packet.h"
+#include "support/time.h"
+
+namespace lm::net {
+
+/// Metric value meaning "unreachable" (RIP-style bounded infinity). With
+/// hop-count metrics this also caps usable path length.
+constexpr std::uint8_t kInfiniteMetric = 16;
+
+struct RouteEntry {
+  Address destination = kUnassigned;
+  Address via = kUnassigned;  // next hop (a 1-hop neighbor)
+  std::uint8_t metric = 0;    // hop count to destination
+  Role role = roles::kNone;   // the destination's advertised role
+  TimePoint expires_at;       // refreshed by advertisements from `via`
+
+  friend bool operator==(const RouteEntry& a, const RouteEntry& b) {
+    return a.destination == b.destination && a.via == b.via &&
+           a.metric == b.metric && a.role == b.role;
+  }
+};
+
+class RoutingTable {
+ public:
+  /// `self` is never stored as a destination; `route_timeout` is the hold
+  /// time granted on each refresh; `own_role` is advertised with every
+  /// beacon via the metric-0 self entry.
+  RoutingTable(Address self, Duration route_timeout,
+               std::uint8_t max_metric = kInfiniteMetric,
+               Role own_role = roles::kNone);
+
+  /// Applies one received beacon from `neighbor` (the frame's link source).
+  /// Returns true when any entry was added, removed, or changed.
+  bool apply_beacon(Address neighbor, const std::vector<RoutingEntry>& entries,
+                    TimePoint now);
+
+  /// Removes entries whose hold timer has lapsed. Returns how many.
+  std::size_t expire(TimePoint now);
+
+  /// Full route lookup. nullopt when the destination is unknown.
+  std::optional<RouteEntry> route_to(Address destination) const;
+
+  /// Next hop toward `destination`, if known.
+  std::optional<Address> next_hop(Address destination) const;
+
+  bool has_route(Address destination) const { return route_to(destination).has_value(); }
+
+  /// All known destinations whose role matches every bit of `role_mask`.
+  std::vector<RouteEntry> routes_with_role(Role role_mask) const;
+
+  /// The closest destination carrying all bits of `role_mask` — e.g. the
+  /// nearest gateway. Ties break toward the lower address (deterministic).
+  std::optional<RouteEntry> nearest_with_role(Role role_mask) const;
+
+  Role own_role() const { return own_role_; }
+
+  /// Entries to advertise in the next beacon: a metric-0 self entry (which
+  /// carries this node's role) followed by (destination, metric, role)
+  /// tuples, sorted by destination, truncated to what one frame can carry
+  /// (the lowest-metric — nearest — destinations win when truncating,
+  /// keeping the most reliable information flowing).
+  std::vector<RoutingEntry> advertisement() const;
+
+  const std::vector<RouteEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  Address self() const { return self_; }
+
+  /// Multi-line human-readable dump (demo output).
+  std::string to_string() const;
+
+  // --- Warm-boot snapshot ------------------------------------------------------
+  /// Serializes the table (destination, via, metric, role, remaining
+  /// lifetime) relative to `now` — the bytes a device would keep in flash
+  /// across a reboot.
+  std::vector<std::uint8_t> serialize(TimePoint now) const;
+
+  /// Restores a snapshot into an empty table, re-basing lifetimes on `now`
+  /// minus `downtime` already elapsed (entries whose lifetime lapsed are
+  /// skipped). Returns false — leaving the table unchanged — on malformed
+  /// input. Requires the table to be empty.
+  bool restore(std::span<const std::uint8_t> snapshot, TimePoint now,
+               Duration downtime = Duration::zero());
+
+ private:
+  RouteEntry* find(Address destination);
+  const RouteEntry* find(Address destination) const;
+
+  Address self_;
+  Duration route_timeout_;
+  std::uint8_t max_metric_;
+  Role own_role_;
+  std::vector<RouteEntry> entries_;  // small tables; linear scan is optimal
+};
+
+}  // namespace lm::net

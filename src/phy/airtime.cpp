@@ -1,0 +1,48 @@
+#include "phy/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lm::phy {
+
+std::size_t payload_symbols(const Modulation& mod, std::size_t payload_bytes) {
+  LM_REQUIRE(payload_bytes <= kMaxPhyPayload);
+  const double pl = static_cast<double>(payload_bytes);
+  const double sf = sf_value(mod.sf);
+  const double ih = mod.explicit_header ? 0.0 : 1.0;
+  const double crc = mod.crc_on ? 1.0 : 0.0;
+  const double de = mod.low_data_rate_optimize() ? 1.0 : 0.0;
+  const double cr = static_cast<double>(mod.cr);
+
+  // AN1200.13: nPayload = 8 + max(ceil((8PL - 4SF + 28 + 16CRC - 20IH)
+  //                                     / (4(SF - 2DE))) * (CR + 4), 0)
+  const double numerator = 8.0 * pl - 4.0 * sf + 28.0 + 16.0 * crc - 20.0 * ih;
+  const double denominator = 4.0 * (sf - 2.0 * de);
+  const double blocks = std::ceil(numerator / denominator);
+  const double extra = std::max(blocks * (cr + 4.0), 0.0);
+  return static_cast<std::size_t>(8.0 + extra);
+}
+
+Duration preamble_time(const Modulation& mod) {
+  // Programmed preamble symbols plus the 4.25-symbol sync word/SFD.
+  const double t =
+      (static_cast<double>(mod.preamble_symbols) + 4.25) * mod.symbol_time().seconds_d();
+  return Duration::from_seconds(t);
+}
+
+Duration time_on_air(const Modulation& mod, std::size_t payload_bytes) {
+  const double tsym = mod.symbol_time().seconds_d();
+  const double tpayload =
+      static_cast<double>(payload_symbols(mod, payload_bytes)) * tsym;
+  return Duration::from_seconds(preamble_time(mod).seconds_d() + tpayload);
+}
+
+Duration cad_time(const Modulation& mod) {
+  // One full symbol of capture plus ~0.5 symbol of processing (SX1276
+  // datasheet section 4.1.6.2 gives ~1.92 ms total at SF7/125 kHz).
+  return Duration::from_seconds(1.5 * mod.symbol_time().seconds_d());
+}
+
+}  // namespace lm::phy

@@ -1,0 +1,30 @@
+// LoRa time-on-air, per Semtech AN1200.13 / SX1276 datasheet.
+//
+// Airtime is the single most important quantity in a LoRa mesh: it sets
+// per-hop latency, collision windows, and the duty-cycle budget. E8
+// (bench_airtime) validates this implementation against published Semtech
+// calculator values.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/lora_params.h"
+#include "support/time.h"
+
+namespace lm::phy {
+
+/// Number of payload symbols for `payload_bytes` of PHY payload.
+std::size_t payload_symbols(const Modulation& mod, std::size_t payload_bytes);
+
+/// Duration of the preamble (programmed symbols + 4.25 sync symbols).
+Duration preamble_time(const Modulation& mod);
+
+/// Total frame time on air for `payload_bytes` of PHY payload
+/// (payload_bytes <= kMaxPhyPayload).
+Duration time_on_air(const Modulation& mod, std::size_t payload_bytes);
+
+/// Airtime consumed by a channel-activity-detection cycle: the SX127x CAD
+/// takes roughly one symbol of listening plus ~half a symbol of processing.
+Duration cad_time(const Modulation& mod);
+
+}  // namespace lm::phy

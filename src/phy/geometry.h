@@ -1,0 +1,25 @@
+// Plane geometry for node placement.
+//
+// The testbed places nodes on a 2-D plane in meters; the propagation model
+// only consumes pairwise distances, so 2-D suffices for every experiment in
+// the paper's scope.
+#pragma once
+
+#include <cmath>
+
+namespace lm::phy {
+
+struct Position {
+  double x = 0.0;  // meters
+  double y = 0.0;  // meters
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+inline double distance_m(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace lm::phy

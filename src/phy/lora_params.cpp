@@ -1,0 +1,103 @@
+#include "phy/lora_params.h"
+
+#include <cstdio>
+
+#include "support/assert.h"
+
+namespace lm::phy {
+
+double bandwidth_hz(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::BW125: return 125e3;
+    case Bandwidth::BW250: return 250e3;
+    case Bandwidth::BW500: return 500e3;
+  }
+  LM_ASSERT(false);
+}
+
+int sf_value(SpreadingFactor sf) { return static_cast<int>(sf); }
+
+const char* to_string(SpreadingFactor sf) {
+  switch (sf) {
+    case SpreadingFactor::SF7: return "SF7";
+    case SpreadingFactor::SF8: return "SF8";
+    case SpreadingFactor::SF9: return "SF9";
+    case SpreadingFactor::SF10: return "SF10";
+    case SpreadingFactor::SF11: return "SF11";
+    case SpreadingFactor::SF12: return "SF12";
+  }
+  return "SF?";
+}
+
+const char* to_string(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::BW125: return "125kHz";
+    case Bandwidth::BW250: return "250kHz";
+    case Bandwidth::BW500: return "500kHz";
+  }
+  return "?kHz";
+}
+
+const char* to_string(CodingRate cr) {
+  switch (cr) {
+    case CodingRate::CR4_5: return "4/5";
+    case CodingRate::CR4_6: return "4/6";
+    case CodingRate::CR4_7: return "4/7";
+    case CodingRate::CR4_8: return "4/8";
+  }
+  return "4/?";
+}
+
+bool Modulation::low_data_rate_optimize() const {
+  // Semtech mandates LDRO when the symbol period exceeds 16 ms.
+  return symbol_time() > Duration::milliseconds(16);
+}
+
+Duration Modulation::symbol_time() const {
+  const double t = static_cast<double>(1 << sf_value(sf)) / bandwidth_hz(bw);
+  return Duration::from_seconds(t);
+}
+
+std::string Modulation::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s/%s CR%s pre=%u%s%s",
+                phy::to_string(sf), phy::to_string(bw), phy::to_string(cr),
+                static_cast<unsigned>(preamble_symbols),
+                explicit_header ? "" : " implicit-hdr", crc_on ? " crc" : "");
+  return buf;
+}
+
+double sensitivity_dbm(SpreadingFactor sf, Bandwidth bw) {
+  // SX1276 datasheet table 13 (125 kHz column), with the standard
+  // +3 dB per bandwidth doubling (noise floor scales with 10*log10(BW)).
+  double base;  // at 125 kHz
+  switch (sf) {
+    case SpreadingFactor::SF7: base = -123.0; break;
+    case SpreadingFactor::SF8: base = -126.0; break;
+    case SpreadingFactor::SF9: base = -129.0; break;
+    case SpreadingFactor::SF10: base = -132.0; break;
+    case SpreadingFactor::SF11: base = -134.5; break;
+    case SpreadingFactor::SF12: base = -137.0; break;
+    default: LM_ASSERT(false);
+  }
+  switch (bw) {
+    case Bandwidth::BW125: return base;
+    case Bandwidth::BW250: return base + 3.0;
+    case Bandwidth::BW500: return base + 6.0;
+  }
+  LM_ASSERT(false);
+}
+
+double snr_floor_db(SpreadingFactor sf) {
+  switch (sf) {
+    case SpreadingFactor::SF7: return -7.5;
+    case SpreadingFactor::SF8: return -10.0;
+    case SpreadingFactor::SF9: return -12.5;
+    case SpreadingFactor::SF10: return -15.0;
+    case SpreadingFactor::SF11: return -17.5;
+    case SpreadingFactor::SF12: return -20.0;
+  }
+  LM_ASSERT(false);
+}
+
+}  // namespace lm::phy

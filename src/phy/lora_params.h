@@ -1,0 +1,81 @@
+// LoRa modulation parameters and their radio-level consequences.
+//
+// Covers the SX127x configurations LoRaMesher exposes: spreading factors
+// SF7..SF12, bandwidths 125/250/500 kHz, coding rates 4/5..4/8. Sensitivity
+// and SNR demodulation floors follow the SX1276 datasheet; they drive both
+// the link-budget check and the collision/capture model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/time.h"
+
+namespace lm::phy {
+
+enum class SpreadingFactor : std::uint8_t {
+  SF7 = 7,
+  SF8 = 8,
+  SF9 = 9,
+  SF10 = 10,
+  SF11 = 11,
+  SF12 = 12,
+};
+
+enum class Bandwidth : std::uint8_t {
+  BW125 = 0,  // 125 kHz
+  BW250 = 1,  // 250 kHz
+  BW500 = 2,  // 500 kHz
+};
+
+enum class CodingRate : std::uint8_t {
+  CR4_5 = 1,  // 4/5
+  CR4_6 = 2,  // 4/6
+  CR4_7 = 3,  // 4/7
+  CR4_8 = 4,  // 4/8
+};
+
+/// Bandwidth in Hz.
+double bandwidth_hz(Bandwidth bw);
+
+/// Numeric spreading factor (7..12).
+int sf_value(SpreadingFactor sf);
+
+const char* to_string(SpreadingFactor sf);
+const char* to_string(Bandwidth bw);
+const char* to_string(CodingRate cr);
+
+/// A complete LoRa PHY configuration. Frames are only mutually receivable
+/// when the modulation (sf, bw) and the carrier frequency match.
+struct Modulation {
+  SpreadingFactor sf = SpreadingFactor::SF7;
+  Bandwidth bw = Bandwidth::BW125;
+  CodingRate cr = CodingRate::CR4_5;
+  std::uint16_t preamble_symbols = 8;  // programmed length, excl. 4.25 sync
+  bool explicit_header = true;
+  bool crc_on = true;
+
+  /// Low-data-rate optimization is mandated when the symbol time exceeds
+  /// 16 ms (SF11/SF12 at 125 kHz); the airtime formula depends on it.
+  bool low_data_rate_optimize() const;
+
+  /// Duration of one LoRa symbol: 2^SF / BW.
+  Duration symbol_time() const;
+
+  friend bool operator==(const Modulation&, const Modulation&) = default;
+
+  std::string to_string() const;
+};
+
+/// SX1276 receiver sensitivity in dBm for the given configuration.
+double sensitivity_dbm(SpreadingFactor sf, Bandwidth bw);
+
+/// Minimum SNR (dB) at which the demodulator still decodes the given SF.
+/// SX1276 datasheet: -7.5 dB at SF7 down to -20 dB at SF12.
+double snr_floor_db(SpreadingFactor sf);
+
+/// Largest PHY payload (bytes) a single frame can carry: the SX127x FIFO
+/// limit of 255 bytes.
+constexpr std::size_t kMaxPhyPayload = 255;
+
+}  // namespace lm::phy

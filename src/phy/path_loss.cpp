@@ -1,0 +1,51 @@
+#include "phy/path_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lm::phy {
+
+namespace {
+constexpr double kSpeedOfLight = 299'792'458.0;
+constexpr double kMinDistanceM = 1.0;
+}  // namespace
+
+FreeSpacePathLoss::FreeSpacePathLoss(double frequency_hz)
+    : frequency_hz_(frequency_hz) {
+  LM_REQUIRE(frequency_hz > 0.0);
+}
+
+double FreeSpacePathLoss::path_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  // Friis: 20 log10(4 * pi * d * f / c).
+  return 20.0 * std::log10(4.0 * M_PI * d * frequency_hz_ / kSpeedOfLight);
+}
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent,
+                                         double reference_loss_db,
+                                         double reference_distance_m)
+    : exponent_(exponent),
+      reference_loss_db_(reference_loss_db),
+      reference_distance_m_(reference_distance_m) {
+  LM_REQUIRE(exponent > 0.0);
+  LM_REQUIRE(reference_distance_m > 0.0);
+}
+
+double LogDistancePathLoss::path_loss_db(double distance_m) const {
+  const double d = std::max(distance_m, kMinDistanceM);
+  return reference_loss_db_ +
+         10.0 * exponent_ * std::log10(d / reference_distance_m_);
+}
+
+std::unique_ptr<PathLossModel> make_free_space(double frequency_hz) {
+  return std::make_unique<FreeSpacePathLoss>(frequency_hz);
+}
+
+std::unique_ptr<PathLossModel> make_log_distance(double exponent,
+                                                 double reference_loss_db) {
+  return std::make_unique<LogDistancePathLoss>(exponent, reference_loss_db);
+}
+
+}  // namespace lm::phy

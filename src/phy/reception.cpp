@@ -1,0 +1,57 @@
+#include "phy/reception.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lm::phy {
+
+double noise_floor_dbm(Bandwidth bw, double noise_figure_db) {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz(bw)) + noise_figure_db;
+}
+
+double snr_db(double rssi_dbm, Bandwidth bw, double noise_figure_db) {
+  return rssi_dbm - noise_floor_dbm(bw, noise_figure_db);
+}
+
+double sir_threshold_db(SpreadingFactor signal_sf, SpreadingFactor interferer_sf) {
+  // Croce et al. 2018, table I (co-channel SIR thresholds, dB). Rows: signal
+  // SF7..SF12; columns: interferer SF7..SF12. Diagonal = capture threshold.
+  static constexpr double kMatrix[6][6] = {
+      //        i=SF7   SF8    SF9    SF10   SF11   SF12
+      /*SF7*/ {6.0, -8.0, -9.0, -9.0, -9.0, -9.0},
+      /*SF8*/ {-11.0, 6.0, -11.0, -12.0, -13.0, -13.0},
+      /*SF9*/ {-15.0, -13.0, 6.0, -13.0, -14.0, -15.0},
+      /*SF10*/ {-19.0, -18.0, -17.0, 6.0, -17.0, -18.0},
+      /*SF11*/ {-22.0, -22.0, -21.0, -20.0, 6.0, -20.0},
+      /*SF12*/ {-25.0, -25.0, -25.0, -24.0, -23.0, 6.0},
+  };
+  const int row = sf_value(signal_sf) - 7;
+  const int col = sf_value(interferer_sf) - 7;
+  LM_ASSERT(row >= 0 && row < 6 && col >= 0 && col < 6);
+  return kMatrix[row][col];
+}
+
+double decode_probability(double snr, SpreadingFactor sf) {
+  // Logistic PER curve centered on the demodulation floor. Slope 2.2/dB
+  // puts the 1 %..99 % transition inside a ~4 dB window, matching measured
+  // SX1276 waterfall curves.
+  constexpr double kSlopePerDb = 2.2;
+  const double margin = snr - snr_floor_db(sf);
+  return 1.0 / (1.0 + std::exp(-kSlopePerDb * margin));
+}
+
+double sample_fading_db(Rng& rng, double sigma_db) {
+  LM_REQUIRE(sigma_db >= 0.0);
+  if (sigma_db == 0.0) return 0.0;
+  return rng.normal(0.0, sigma_db);
+}
+
+bool decode_success(Rng& rng, double rssi_dbm, const Modulation& mod,
+                    double noise_figure_db) {
+  if (rssi_dbm < sensitivity_dbm(mod.sf, mod.bw)) return false;
+  const double snr = snr_db(rssi_dbm, mod.bw, noise_figure_db);
+  return rng.bernoulli(decode_probability(snr, mod.sf));
+}
+
+}  // namespace lm::phy

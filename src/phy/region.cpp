@@ -1,0 +1,53 @@
+#include "phy/region.h"
+
+namespace lm::phy {
+
+const RegionParams& eu868() {
+  static const RegionParams region{
+      "EU868",
+      {
+          // ETSI EN 300 220 annex B sub-bands used by LoRa devices.
+          {"g", 865.0e6, 868.0e6, 0.01, 14.0},
+          {"g1", 868.0e6, 868.6e6, 0.01, 14.0},
+          {"g2", 868.7e6, 869.2e6, 0.001, 14.0},
+          {"g3", 869.4e6, 869.65e6, 0.10, 27.0},
+          {"g4", 869.7e6, 870.0e6, 0.01, 14.0},
+      },
+      {868.1e6, 868.3e6, 868.5e6},
+      Duration::zero(),  // no dwell rule
+  };
+  return region;
+}
+
+const RegionParams& us915() {
+  static const RegionParams region{
+      "US915",
+      {
+          // FCC: no duty limit; +30 dBm with hopping, dwell-limited.
+          {"uplink", 902.3e6, 914.9e6, 1.0, 30.0},
+          {"downlink", 923.3e6, 927.5e6, 1.0, 30.0},
+      },
+      {902.3e6, 902.5e6, 902.7e6, 902.9e6, 903.1e6, 903.3e6, 903.5e6, 903.7e6},
+      Duration::milliseconds(400),
+  };
+  return region;
+}
+
+const SubBand* sub_band_of(const RegionParams& region, double frequency_hz) {
+  for (const SubBand& band : region.sub_bands) {
+    if (frequency_hz >= band.low_hz && frequency_hz < band.high_hz) return &band;
+  }
+  return nullptr;
+}
+
+double duty_limit_at(const RegionParams& region, double frequency_hz) {
+  const SubBand* band = sub_band_of(region, frequency_hz);
+  return band != nullptr ? band->duty_cycle_limit : 1.0;
+}
+
+bool dwell_time_ok(const RegionParams& region, Duration airtime) {
+  if (region.max_dwell_time.is_zero()) return true;
+  return airtime <= region.max_dwell_time;
+}
+
+}  // namespace lm::phy

@@ -1,0 +1,55 @@
+// Regional band plans.
+//
+// LoRa operation is bounded by regional regulation: which carrier
+// frequencies exist, how loud a device may transmit, and how much airtime
+// it may occupy. LoRaMesher's testbed runs in the EU868 band (1 % duty in
+// the g1 sub-band); US915 regulates per-transmission dwell time instead of
+// duty cycle. This module captures the parameters the mesh needs so
+// configurations can be derived from a named region instead of hand-typed
+// numbers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/time.h"
+
+namespace lm::phy {
+
+/// One regulatory sub-band: a frequency range sharing a duty budget.
+struct SubBand {
+  const char* name;
+  double low_hz;
+  double high_hz;
+  double duty_cycle_limit;   // fraction of airtime (1.0 = unlimited)
+  double max_erp_dbm;        // radiated power ceiling
+};
+
+struct RegionParams {
+  const char* name;
+  std::vector<SubBand> sub_bands;
+  std::vector<double> default_channels_hz;  // common channel grid
+  Duration max_dwell_time;  // per-transmission cap (zero = none)
+};
+
+/// EU 863-870 MHz (ETSI EN 300 220): duty-cycle regulated. The default
+/// LoRaWAN channels (868.1/868.3/868.5) sit in g1 (1 %).
+const RegionParams& eu868();
+
+/// US 902-928 MHz (FCC part 15.247): no duty cycle, but 400 ms dwell per
+/// transmission on the uplink channels.
+const RegionParams& us915();
+
+/// Sub-band containing `frequency_hz`, or nullptr when out of band.
+const SubBand* sub_band_of(const RegionParams& region, double frequency_hz);
+
+/// Duty-cycle limit applying at `frequency_hz` (1.0 when the region does
+/// not duty-limit or the frequency is out of band — the dwell limit then
+/// rules instead).
+double duty_limit_at(const RegionParams& region, double frequency_hz);
+
+/// True when a frame of `airtime` is legal per the region's dwell rule.
+bool dwell_time_ok(const RegionParams& region, Duration airtime);
+
+}  // namespace lm::phy

@@ -1,0 +1,306 @@
+#include "radio/channel.h"
+
+#include <algorithm>
+
+#include "phy/airtime.h"
+#include "phy/reception.h"
+#include "radio/virtual_radio.h"
+#include "support/assert.h"
+#include "support/log.h"
+
+namespace lm::radio {
+
+namespace {
+
+std::pair<RadioId, RadioId> link_key(RadioId a, RadioId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+/// History entries older than this can no longer overlap anything: the
+/// longest frame (SF12, 255 B, CR4/8) stays under 10 s on the air.
+constexpr Duration kHistoryHorizon = Duration::seconds(15);
+
+}  // namespace
+
+PropagationConfig PropagationConfig::campus() {
+  PropagationConfig c;
+  c.path_loss = phy::make_log_distance(3.0, 40.0);
+  c.shadowing_sigma_db = 3.0;
+  c.fading_sigma_db = 1.5;
+  return c;
+}
+
+PropagationConfig PropagationConfig::free_space() {
+  PropagationConfig c;
+  c.path_loss = phy::make_free_space();
+  c.shadowing_sigma_db = 0.0;
+  c.fading_sigma_db = 0.0;
+  return c;
+}
+
+PropagationConfig PropagationConfig::ideal() { return free_space(); }
+
+Channel::Channel(sim::Simulator& sim, PropagationConfig config, std::uint64_t seed)
+    : sim_(sim), config_(std::move(config)), rng_(seed) {
+  LM_REQUIRE(config_.path_loss != nullptr);
+  LM_REQUIRE(config_.shadowing_sigma_db >= 0.0);
+  LM_REQUIRE(config_.fading_sigma_db >= 0.0);
+}
+
+Channel::~Channel() = default;
+
+void Channel::register_radio(VirtualRadio& radio) {
+  for (const VirtualRadio* r : radios_) {
+    LM_REQUIRE(r->id() != radio.id());
+  }
+  radios_.push_back(&radio);
+}
+
+void Channel::unregister_radio(VirtualRadio& radio) {
+  std::erase(radios_, &radio);
+}
+
+void Channel::begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame) {
+  Transmission t;
+  t.seq = next_seq_++;
+  t.tx_id = radio.id();
+  t.tx_pos = radio.position();
+  t.tx_power_dbm = radio.config().tx_power_dbm;
+  t.antenna_gain_db = radio.config().antenna_gain_db;
+  t.frequency_hz = radio.config().frequency_hz;
+  t.mod = radio.modulation();
+  t.start = sim_.now();
+  t.end = t.start + phy::time_on_air(t.mod, frame.size());
+  t.frame = std::move(frame);
+  stats_.frames_transmitted++;
+
+  const std::uint64_t seq = t.seq;
+  in_flight_.push_back(std::move(t));
+  sim_.schedule_at(in_flight_.back().end, [this, seq] { finish_tx(seq); });
+}
+
+void Channel::finish_tx(std::uint64_t seq) {
+  auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+                         [seq](const Transmission& t) { return t.seq == seq; });
+  LM_ASSERT(it != in_flight_.end());
+  Transmission t = std::move(*it);
+  in_flight_.erase(it);
+
+  // Return the transmitter to Standby first so its stack can re-arm; a frame
+  // it starts *now* cannot overlap the one that just ended.
+  for (VirtualRadio* r : radios_) {
+    if (r->id() == t.tx_id) {
+      r->finish_tx();
+      break;
+    }
+  }
+
+  // Snapshot the radio list: deliveries may trigger immediate responses, and
+  // those must not invalidate this iteration.
+  const std::vector<VirtualRadio*> receivers = radios_;
+  history_.push_back(std::move(t));
+  Transmission& frame = history_.back();
+  for (VirtualRadio* rx : receivers) {
+    if (rx->id() != frame.tx_id) evaluate_reception(frame, *rx);
+  }
+  prune_history();
+}
+
+double Channel::link_shadowing_db(RadioId a, RadioId b) const {
+  if (config_.shadowing_sigma_db == 0.0) return 0.0;
+  const auto key = link_key(a, b);
+  auto it = shadowing_.find(key);
+  if (it == shadowing_.end()) {
+    it = shadowing_.emplace(key, rng_.normal(0.0, config_.shadowing_sigma_db)).first;
+  }
+  return it->second;
+}
+
+double Channel::mean_rssi_from(const Transmission& t, const VirtualRadio& rx) const {
+  const double pl = config_.path_loss->path_loss_db(
+      phy::distance_m(t.tx_pos, rx.position()));
+  return t.tx_power_dbm + t.antenna_gain_db + rx.config().antenna_gain_db - pl -
+         link_shadowing_db(t.tx_id, rx.id());
+}
+
+double Channel::rssi_with_fading(Transmission& t, const VirtualRadio& rx) {
+  double fading = 0.0;
+  if (config_.fading_sigma_db > 0.0) {
+    auto it = t.fading_db.find(rx.id());
+    if (it == t.fading_db.end()) {
+      it = t.fading_db
+               .emplace(rx.id(),
+                        phy::sample_fading_db(rng_, config_.fading_sigma_db))
+               .first;
+    }
+    fading = it->second;
+  }
+  return mean_rssi_from(t, rx) + fading;
+}
+
+void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
+  // Different carrier: radios on other channels neither decode nor suffer
+  // interference (channel spacing gives effectively complete rejection).
+  if (rx.config().frequency_hz != t.frequency_hz) return;
+
+  if (is_blocked(t.tx_id, rx.id())) {
+    stats_.dropped_blocked_link++;
+    return;
+  }
+
+  // Find the (mutable) transmission record for fading caching. `t` lives in
+  // history_, so this const_cast only unlocks the cache field.
+  auto& frame = const_cast<Transmission&>(t);
+  const double rssi = rssi_with_fading(frame, rx);
+  if (rssi < phy::sensitivity_dbm(t.mod.sf, t.mod.bw)) {
+    stats_.dropped_below_sensitivity++;
+    return;
+  }
+
+  if (rx.modulation().sf != t.mod.sf || rx.modulation().bw != t.mod.bw) {
+    stats_.dropped_modulation_mismatch++;
+    return;
+  }
+
+  if (!rx.listening_since(t.start)) {
+    stats_.dropped_not_listening++;
+    return;
+  }
+
+  const auto loss_it = extra_loss_.find(link_key(t.tx_id, rx.id()));
+  if (loss_it != extra_loss_.end() && rng_.bernoulli(loss_it->second)) {
+    stats_.dropped_blocked_link++;
+    return;
+  }
+
+  // Collision check over the vulnerable window: the receiver tolerates
+  // interference that dies out before the last 5 preamble symbols (it can
+  // still lock), but not during sync/payload.
+  const Duration t_sym = t.mod.symbol_time();
+  TimePoint vulnerable_start = t.start + phy::preamble_time(t.mod) - 5 * t_sym;
+  if (vulnerable_start < t.start) vulnerable_start = t.start;
+
+  auto overlaps_vulnerable = [&](const Transmission& o) {
+    return o.start < t.end && o.end > vulnerable_start;
+  };
+  auto collides_with = [&](Transmission& o) {
+    if (o.seq == t.seq || o.tx_id == rx.id()) return false;
+    if (o.frequency_hz != t.frequency_hz) return false;
+    if (!overlaps_vulnerable(o)) return false;
+    const double o_rssi = rssi_with_fading(o, rx);
+    return rssi - o_rssi < phy::sir_threshold_db(t.mod.sf, o.mod.sf);
+  };
+
+  for (Transmission& o : in_flight_) {
+    if (collides_with(o)) {
+      stats_.dropped_collision++;
+      return;
+    }
+  }
+  for (Transmission& o : history_) {
+    if (collides_with(o)) {
+      stats_.dropped_collision++;
+      return;
+    }
+  }
+
+  const double snr = phy::snr_db(rssi, t.mod.bw, config_.noise_figure_db);
+  if (!rng_.bernoulli(phy::decode_probability(snr, t.mod.sf))) {
+    stats_.dropped_snr++;
+    return;
+  }
+
+  FrameMeta meta;
+  meta.rssi_dbm = rssi;
+  meta.snr_db = snr;
+  meta.start = t.start;
+  meta.end = t.end;
+  meta.transmitter = t.tx_id;
+  stats_.receptions_delivered++;
+  rx.deliver(t.frame, meta);
+}
+
+bool Channel::detectable_by(const Transmission& t,
+                            const VirtualRadio& listener) const {
+  if (t.tx_id == listener.id()) return false;
+  if (t.frequency_hz != listener.config().frequency_hz) return false;
+  // SX127x CAD correlates against the configured SF only.
+  if (t.mod.sf != listener.modulation().sf ||
+      t.mod.bw != listener.modulation().bw) {
+    return false;
+  }
+  if (is_blocked(t.tx_id, listener.id())) return false;
+  return mean_rssi_from(t, listener) >= phy::sensitivity_dbm(t.mod.sf, t.mod.bw);
+}
+
+bool Channel::carrier_sensed_by(const VirtualRadio& listener) const {
+  for (const Transmission& t : in_flight_) {
+    if (detectable_by(t, listener)) return true;
+  }
+  return false;
+}
+
+bool Channel::carrier_sensed_during(const VirtualRadio& listener,
+                                    TimePoint since) const {
+  // Everything in in_flight_ started before now and is still on the air,
+  // so it overlaps [since, now] by construction.
+  if (carrier_sensed_by(listener)) return true;
+  // A short frame may have started *and* ended within the window.
+  for (const Transmission& t : history_) {
+    if (t.end > since && detectable_by(t, listener)) return true;
+  }
+  return false;
+}
+
+void Channel::block_link(RadioId a, RadioId b) { blocked_[link_key(a, b)] = true; }
+
+void Channel::unblock_link(RadioId a, RadioId b) { blocked_.erase(link_key(a, b)); }
+
+bool Channel::is_blocked(RadioId a, RadioId b) const {
+  const auto it = blocked_.find(link_key(a, b));
+  return it != blocked_.end() && it->second;
+}
+
+void Channel::set_link_extra_loss(RadioId a, RadioId b, double loss_probability) {
+  LM_REQUIRE(loss_probability >= 0.0 && loss_probability <= 1.0);
+  if (loss_probability == 0.0) {
+    extra_loss_.erase(link_key(a, b));
+  } else {
+    extra_loss_[link_key(a, b)] = loss_probability;
+  }
+}
+
+double Channel::mean_rssi_dbm(const VirtualRadio& tx, const VirtualRadio& rx) const {
+  Transmission t;
+  t.tx_id = tx.id();
+  t.tx_pos = tx.position();
+  t.tx_power_dbm = tx.config().tx_power_dbm;
+  t.antenna_gain_db = tx.config().antenna_gain_db;
+  return mean_rssi_from(t, rx);
+}
+
+double Channel::link_quality(const VirtualRadio& tx, const VirtualRadio& rx) const {
+  if (is_blocked(tx.id(), rx.id())) return 0.0;
+  if (tx.config().frequency_hz != rx.config().frequency_hz) return 0.0;
+  if (tx.modulation().sf != rx.modulation().sf ||
+      tx.modulation().bw != rx.modulation().bw) {
+    return 0.0;
+  }
+  const double rssi = mean_rssi_dbm(tx, rx);
+  const auto& mod = tx.modulation();
+  if (rssi < phy::sensitivity_dbm(mod.sf, mod.bw)) return 0.0;
+  double quality = phy::decode_probability(
+      phy::snr_db(rssi, mod.bw, config_.noise_figure_db), mod.sf);
+  const auto loss_it = extra_loss_.find(link_key(tx.id(), rx.id()));
+  if (loss_it != extra_loss_.end()) quality *= 1.0 - loss_it->second;
+  return quality;
+}
+
+void Channel::prune_history() {
+  const TimePoint horizon = sim_.now() - kHistoryHorizon;
+  while (!history_.empty() && history_.front().end < horizon) {
+    history_.pop_front();
+  }
+}
+
+}  // namespace lm::radio

@@ -1,0 +1,151 @@
+// The shared radio medium connecting all VirtualRadios of a scenario.
+//
+// Responsibilities:
+//  * propagation — per-link mean RSSI from the path-loss model plus static
+//    log-normal shadowing (sampled once per link) and per-packet fading;
+//  * delivery — when a transmission ends, decide for every candidate
+//    receiver whether the frame decodes (sensitivity, SNR waterfall,
+//    collision/capture against overlapping transmissions);
+//  * carrier sensing — answer CAD queries;
+//  * scripted impairments — the testbed can block links or add loss to
+//    reproduce topology experiments regardless of geometry.
+//
+// Collision model (LoRaSim / Croce et al.): an overlapping transmission on
+// the same carrier only destroys a frame if (a) it overlaps the frame's
+// vulnerable window — from 5 preamble symbols before the sync word to the
+// frame end — and (b) the frame's power does not clear the SIR threshold for
+// the SF pair (6 dB co-SF capture; strong negative thresholds across SFs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "phy/geometry.h"
+#include "phy/path_loss.h"
+#include "radio/radio_types.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+
+namespace lm::radio {
+
+class VirtualRadio;
+
+/// Propagation environment parameters for a Channel.
+struct PropagationConfig {
+  /// Mean path loss vs distance; defaults to log-distance n=3.0 (campus-like).
+  std::shared_ptr<const phy::PathLossModel> path_loss;
+  /// Log-normal shadowing sigma (dB); sampled once per link, symmetric.
+  double shadowing_sigma_db = 0.0;
+  /// Per-packet fast-fading sigma (dB).
+  double fading_sigma_db = 0.0;
+  /// Receiver noise figure (dB) used for SNR computation.
+  double noise_figure_db = 6.0;
+
+  static PropagationConfig campus();     // log-distance n=3.0, sigma 3 dB
+  static PropagationConfig free_space(); // Friis, no shadowing or fading
+  static PropagationConfig ideal();      // free space, deterministic decode
+};
+
+/// Counters describing the fate of every reception opportunity.
+struct ChannelStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t receptions_delivered = 0;
+  std::uint64_t dropped_not_listening = 0;   // receiver not in continuous RX
+  std::uint64_t dropped_blocked_link = 0;    // scripted block / extra loss
+  std::uint64_t dropped_below_sensitivity = 0;
+  std::uint64_t dropped_snr = 0;             // interference-free decode failed
+  std::uint64_t dropped_collision = 0;       // lost to an overlapping frame
+  std::uint64_t dropped_modulation_mismatch = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, PropagationConfig config, std::uint64_t seed);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // -- Radio registry (called by VirtualRadio) ------------------------------
+  void register_radio(VirtualRadio& radio);
+  void unregister_radio(VirtualRadio& radio);
+
+  /// Starts a transmission. Called by VirtualRadio::transmit after it has
+  /// entered the Tx state; the channel schedules the end-of-frame event and
+  /// calls back `radio.finish_tx()` when the frame leaves the air.
+  void begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame);
+
+  /// True when a same-modulation transmission is currently on the air and
+  /// detectable (RSSI above sensitivity) at `listener`'s location.
+  bool carrier_sensed_by(const VirtualRadio& listener) const;
+
+  /// True when any detectable same-modulation transmission overlapped the
+  /// interval [since, now] — the CAD model: the detector integrates over its
+  /// whole window, so a preamble starting mid-window is still caught.
+  bool carrier_sensed_during(const VirtualRadio& listener, TimePoint since) const;
+
+  // -- Scripted link impairments (testbed) ----------------------------------
+  /// Forces the link between two radios to drop every frame (both ways).
+  void block_link(RadioId a, RadioId b);
+  void unblock_link(RadioId a, RadioId b);
+  bool is_blocked(RadioId a, RadioId b) const;
+  /// Adds independent per-frame loss probability to a link (both ways).
+  void set_link_extra_loss(RadioId a, RadioId b, double loss_probability);
+
+  // -- Introspection ---------------------------------------------------------
+  /// Mean RSSI (dBm) a frame from `tx` would have at `rx` — path loss and
+  /// shadowing, no fading. For tests and topology planning.
+  double mean_rssi_dbm(const VirtualRadio& tx, const VirtualRadio& rx) const;
+
+  /// Probability that an isolated frame from `tx` decodes at `rx`,
+  /// marginalizing fading analytically is intractable, so this reports the
+  /// fading-free decode probability. For topology planning.
+  double link_quality(const VirtualRadio& tx, const VirtualRadio& rx) const;
+
+  const ChannelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = ChannelStats{}; }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Transmission {
+    std::uint64_t seq = 0;
+    RadioId tx_id = 0;
+    phy::Position tx_pos;  // captured at start; mobility within a frame is negligible
+    double tx_power_dbm = 0.0;
+    double antenna_gain_db = 0.0;
+    double frequency_hz = 0.0;
+    phy::Modulation mod;
+    std::vector<std::uint8_t> frame;
+    TimePoint start;
+    TimePoint end;
+    // Per-receiver fading, sampled once per (frame, receiver) pair so that
+    // repeated queries (signal vs interference roles) agree.
+    std::map<RadioId, double> fading_db;
+  };
+
+  void finish_tx(std::uint64_t seq);
+  bool detectable_by(const Transmission& t, const VirtualRadio& listener) const;
+  void evaluate_reception(const Transmission& t, VirtualRadio& rx);
+  double rssi_with_fading(Transmission& t, const VirtualRadio& rx);
+  double link_shadowing_db(RadioId a, RadioId b) const;
+  double mean_rssi_from(const Transmission& t, const VirtualRadio& rx) const;
+  void prune_history();
+
+  sim::Simulator& sim_;
+  PropagationConfig config_;
+  mutable Rng rng_;
+  std::vector<VirtualRadio*> radios_;
+  std::vector<Transmission> in_flight_;
+  std::deque<Transmission> history_;  // recently-ended, kept for overlap checks
+  mutable std::map<std::pair<RadioId, RadioId>, double> shadowing_;
+  std::map<std::pair<RadioId, RadioId>, double> extra_loss_;
+  std::map<std::pair<RadioId, RadioId>, bool> blocked_;
+  ChannelStats stats_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace lm::radio

@@ -1,0 +1,44 @@
+#include "radio/energy.h"
+
+#include "support/assert.h"
+
+namespace lm::radio {
+
+double EnergyProfile::current_for(RadioState state) const {
+  switch (state) {
+    case RadioState::Sleep: return sleep_ma;
+    case RadioState::Standby: return standby_ma;
+    case RadioState::Rx: return rx_ma;
+    case RadioState::Tx: return tx_ma;
+    case RadioState::Cad: return cad_ma;
+  }
+  LM_ASSERT(false);
+}
+
+double charge_consumed_mah(const VirtualRadio& radio, const EnergyProfile& profile) {
+  double mah = 0.0;
+  for (RadioState state : {RadioState::Sleep, RadioState::Standby, RadioState::Rx,
+                           RadioState::Tx, RadioState::Cad}) {
+    const double hours = radio.time_in_state(state).seconds_d() / 3600.0;
+    mah += profile.current_for(state) * hours;
+  }
+  return mah;
+}
+
+double average_current_ma(const VirtualRadio& radio, const EnergyProfile& profile) {
+  Duration total = Duration::zero();
+  for (RadioState state : {RadioState::Sleep, RadioState::Standby, RadioState::Rx,
+                           RadioState::Tx, RadioState::Cad}) {
+    total += radio.time_in_state(state);
+  }
+  if (total.is_zero()) return 0.0;
+  return charge_consumed_mah(radio, profile) / (total.seconds_d() / 3600.0);
+}
+
+double battery_life_days(double average_ma, double capacity_mah) {
+  LM_REQUIRE(average_ma > 0.0);
+  LM_REQUIRE(capacity_mah > 0.0);
+  return capacity_mah / average_ma / 24.0;
+}
+
+}  // namespace lm::radio

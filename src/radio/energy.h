@@ -1,0 +1,41 @@
+// Energy model for the virtual radio.
+//
+// LoRaMesher's target devices are battery-powered, and the protocol keeps
+// the radio in continuous receive between transmissions — unlike LoRaWAN
+// class A, a mesh router must always listen. This model turns the radio's
+// per-state time accounting into charge consumed and projected battery
+// life, so experiments can quantify that trade (E10). Current draws follow
+// the SX1276 datasheet (band 1, RFO/PA_BOOST at +13 dBm, LnaBoost off).
+#pragma once
+
+#include "radio/virtual_radio.h"
+#include "support/time.h"
+
+namespace lm::radio {
+
+/// Current draw (mA) per radio state.
+struct EnergyProfile {
+  double sleep_ma = 0.0002;   // 0.2 uA register-retention sleep
+  double standby_ma = 1.6;    // crystal running
+  double rx_ma = 11.5;        // RxContinuous, band 1
+  double tx_ma = 28.0;        // +13 dBm on PA_BOOST
+  double cad_ma = 11.5;       // receiver path active
+
+  /// SX1276 datasheet values (table 10), the radio in the paper's testbed.
+  static EnergyProfile sx1276() { return {}; }
+
+  double current_for(RadioState state) const;
+};
+
+/// Charge consumed by `radio` since construction, in mAh.
+double charge_consumed_mah(const VirtualRadio& radio,
+                           const EnergyProfile& profile = EnergyProfile::sx1276());
+
+/// Average current over the radio's lifetime so far, in mA.
+double average_current_ma(const VirtualRadio& radio,
+                          const EnergyProfile& profile = EnergyProfile::sx1276());
+
+/// Days a battery of `capacity_mah` lasts at `average_ma` constant draw.
+double battery_life_days(double average_ma, double capacity_mah);
+
+}  // namespace lm::radio

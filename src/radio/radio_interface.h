@@ -1,0 +1,54 @@
+// The radio interface the protocol stack is written against.
+//
+// This is the hardware binding point: everything in src/net (MeshNode, the
+// reliable-transfer sessions) and src/baseline drives a `Radio`, never the
+// simulator's VirtualRadio directly. Porting LoRaMesher to real hardware
+// means implementing this interface over an SX127x driver (see
+// docs/PORTING.md); the protocol logic comes along unchanged.
+//
+// Semantics contract (matching SX127x drivers and VirtualRadio):
+//  * half duplex — exactly one state at a time;
+//  * transmit()/start_cad() return false instead of preempting an ongoing
+//    TX or CAD, and false when asleep;
+//  * completions arrive via the registered RadioListener;
+//  * a frame is only received if the radio stayed in Rx from the frame's
+//    preamble to its end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/lora_params.h"
+#include "radio/radio_types.h"
+
+namespace lm::radio {
+
+class Radio {
+ public:
+  virtual ~Radio() = default;
+
+  /// Registers the protocol stack for completions. Pass nullptr to detach.
+  /// The listener must outlive the radio or be detached first.
+  virtual void set_listener(RadioListener* listener) = 0;
+
+  /// Enters continuous receive. No-op when already receiving.
+  virtual void start_receive() = 0;
+  /// Leaves Rx/Sleep for Standby. Illegal mid-TX / mid-CAD.
+  virtual void standby() = 0;
+  /// Powers down. Illegal mid-TX / mid-CAD.
+  virtual void sleep() = 0;
+
+  /// Starts transmitting (1..kMaxPhyPayload bytes); false if busy/asleep.
+  virtual bool transmit(std::vector<std::uint8_t> frame) = 0;
+  /// Starts channel-activity detection; false if busy/asleep.
+  virtual bool start_cad() = 0;
+
+  /// RSSI/preamble busy hint without leaving Rx (used for soft carrier
+  /// sense so an ongoing reception is never aborted by CAD).
+  virtual bool medium_busy() const = 0;
+
+  virtual RadioState state() const = 0;
+  virtual const phy::Modulation& modulation() const = 0;
+};
+
+}  // namespace lm::radio

@@ -1,0 +1,64 @@
+// Shared vocabulary types for the virtual radio layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/lora_params.h"
+#include "support/time.h"
+
+namespace lm::radio {
+
+/// Identifies a radio within a Channel. Distinct from the mesh-layer
+/// Address: the radio layer knows nothing about mesh addressing.
+using RadioId = std::uint32_t;
+
+/// SX127x-style operating states. Exactly one is active at a time; the
+/// device is half-duplex.
+enum class RadioState : std::uint8_t {
+  Sleep,    // powered down; hears nothing
+  Standby,  // idle, ready to change state; hears nothing
+  Rx,       // continuous receive
+  Tx,       // transmitting a frame
+  Cad,      // channel-activity detection in progress
+};
+
+const char* to_string(RadioState s);
+
+/// Per-frame reception metadata, mirroring what an SX127x driver reports.
+struct FrameMeta {
+  double rssi_dbm = 0.0;
+  double snr_db = 0.0;
+  TimePoint start;            // frame start on air
+  TimePoint end;              // frame end on air (== delivery time)
+  RadioId transmitter = 0;    // ground truth, for tests/metrics only
+};
+
+/// Static configuration of one radio.
+struct RadioConfig {
+  phy::Modulation modulation;
+  double frequency_hz = 868.1e6;
+  double tx_power_dbm = 14.0;   // EU868 ERP limit
+  double antenna_gain_db = 0.0; // applied on both TX and RX
+  double noise_figure_db = 6.0;
+};
+
+/// Callbacks from the radio to the protocol stack. All callbacks fire from
+/// simulator events; implementations may call back into the radio.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+
+  /// A frame fully received and decoded. The radio stays in Rx.
+  virtual void on_frame_received(const std::vector<std::uint8_t>& frame,
+                                 const FrameMeta& meta) = 0;
+
+  /// The frame passed to transmit() finished; radio is now in Standby.
+  virtual void on_tx_done() {}
+
+  /// CAD completed; `channel_active` is true when a same-modulation
+  /// transmission was detectable. Radio is now in Standby.
+  virtual void on_cad_done(bool channel_active) { (void)channel_active; }
+};
+
+}  // namespace lm::radio

@@ -1,0 +1,122 @@
+#include "radio/virtual_radio.h"
+
+#include "phy/airtime.h"
+#include "support/assert.h"
+#include "support/log.h"
+
+namespace lm::radio {
+
+const char* to_string(RadioState s) {
+  switch (s) {
+    case RadioState::Sleep: return "Sleep";
+    case RadioState::Standby: return "Standby";
+    case RadioState::Rx: return "Rx";
+    case RadioState::Tx: return "Tx";
+    case RadioState::Cad: return "Cad";
+  }
+  return "?";
+}
+
+VirtualRadio::VirtualRadio(sim::Simulator& sim, Channel& channel, RadioId id,
+                           phy::Position position, RadioConfig config)
+    : sim_(sim),
+      channel_(channel),
+      id_(id),
+      position_(position),
+      config_(config),
+      state_entered_(sim.now()) {
+  channel_.register_radio(*this);
+}
+
+VirtualRadio::~VirtualRadio() { channel_.unregister_radio(*this); }
+
+void VirtualRadio::enter(RadioState next) {
+  if (state_ == next) return;
+  state_time_[static_cast<std::size_t>(state_)] += sim_.now() - state_entered_;
+  state_entered_ = sim_.now();
+  if (next == RadioState::Rx) rx_since_ = sim_.now();
+  state_ = next;
+}
+
+Duration VirtualRadio::time_in_state(RadioState state) const {
+  Duration total = state_time_[static_cast<std::size_t>(state)];
+  if (state == state_) total += sim_.now() - state_entered_;
+  return total;
+}
+
+void VirtualRadio::start_receive() {
+  LM_REQUIRE(state_ != RadioState::Tx && state_ != RadioState::Cad);
+  enter(RadioState::Rx);
+}
+
+void VirtualRadio::standby() {
+  LM_REQUIRE(state_ != RadioState::Tx && state_ != RadioState::Cad);
+  enter(RadioState::Standby);
+}
+
+void VirtualRadio::sleep() {
+  LM_REQUIRE(state_ != RadioState::Tx && state_ != RadioState::Cad);
+  enter(RadioState::Sleep);
+}
+
+bool VirtualRadio::transmit(std::vector<std::uint8_t> frame) {
+  LM_REQUIRE(!frame.empty());
+  LM_REQUIRE(frame.size() <= phy::kMaxPhyPayload);
+  if (state_ == RadioState::Tx || state_ == RadioState::Cad ||
+      state_ == RadioState::Sleep) {
+    return false;
+  }
+  enter(RadioState::Tx);
+  tx_started_ = sim_.now();
+  stats_.tx_frames++;
+  stats_.tx_bytes += frame.size();
+  channel_.begin_tx(*this, std::move(frame));
+  return true;
+}
+
+bool VirtualRadio::start_cad() {
+  if (state_ == RadioState::Tx || state_ == RadioState::Cad ||
+      state_ == RadioState::Sleep) {
+    return false;
+  }
+  enter(RadioState::Cad);
+  stats_.cad_runs++;
+  // The SX127x CAD integrates over its whole window: a transmission present
+  // at any point during the ~1.5 symbols is detected. Evaluate at window
+  // end so frames starting mid-window are caught too.
+  const TimePoint window_start = sim_.now();
+  cad_timer_ = sim_.schedule_after(
+      phy::cad_time(config_.modulation), [this, window_start] {
+        LM_ASSERT(state_ == RadioState::Cad);
+        const bool busy = channel_.carrier_sensed_during(*this, window_start);
+        if (busy) stats_.cad_busy++;
+        enter(RadioState::Standby);
+        if (listener_ != nullptr) listener_->on_cad_done(busy);
+      });
+  return true;
+}
+
+bool VirtualRadio::medium_busy() const {
+  return channel_.carrier_sensed_by(*this);
+}
+
+bool VirtualRadio::listening_since(TimePoint t) const {
+  return state_ == RadioState::Rx && rx_since_ <= t;
+}
+
+void VirtualRadio::deliver(const std::vector<std::uint8_t>& frame,
+                           const FrameMeta& meta) {
+  LM_ASSERT(state_ == RadioState::Rx);
+  stats_.rx_frames++;
+  stats_.rx_bytes += frame.size();
+  if (listener_ != nullptr) listener_->on_frame_received(frame, meta);
+}
+
+void VirtualRadio::finish_tx() {
+  LM_ASSERT(state_ == RadioState::Tx);
+  stats_.tx_airtime += sim_.now() - tx_started_;
+  enter(RadioState::Standby);
+  if (listener_ != nullptr) listener_->on_tx_done();
+}
+
+}  // namespace lm::radio

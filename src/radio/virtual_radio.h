@@ -1,0 +1,107 @@
+// A virtual half-duplex LoRa transceiver.
+//
+// Mirrors the driver semantics the original LoRaMesher sees from an SX127x
+// through RadioLib: explicit states, continuous receive, asynchronous
+// transmit completion, and channel-activity detection (CAD). The protocol
+// stack above is written only against this interface plus the simulator
+// clock, which is what makes the stack logic hardware-shaped even though the
+// medium is simulated.
+//
+// State rules (enforced with preconditions, as the real driver would fail):
+//  * transmit() is legal from Standby or Rx (it preempts reception — any
+//    frame currently in the air toward this radio is lost);
+//  * start_cad() is legal from Standby or Rx; the radio cannot decode frames
+//    while the CAD runs; it lands in Standby when the result is delivered;
+//  * a frame is only received if the radio was in Rx continuously from the
+//    frame's first preamble symbol to its end (the demodulator must lock on
+//    the preamble).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/geometry.h"
+#include "radio/channel.h"
+#include "radio/radio_interface.h"
+#include "radio/radio_types.h"
+#include "sim/simulator.h"
+#include "support/time.h"
+
+namespace lm::radio {
+
+/// Cumulative per-radio counters.
+struct RadioStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t tx_bytes = 0;
+  Duration tx_airtime;          // total time spent in Tx
+  std::uint64_t rx_frames = 0;  // frames delivered to the listener
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t cad_runs = 0;
+  std::uint64_t cad_busy = 0;   // CAD runs that reported an active channel
+};
+
+class VirtualRadio final : public Radio {
+ public:
+  /// Registers with `channel`; the radio starts in Standby.
+  VirtualRadio(sim::Simulator& sim, Channel& channel, RadioId id,
+               phy::Position position, RadioConfig config);
+  ~VirtualRadio() override;
+
+  VirtualRadio(const VirtualRadio&) = delete;
+  VirtualRadio& operator=(const VirtualRadio&) = delete;
+
+  // -- Radio interface (semantics documented in radio_interface.h) -----------
+  void set_listener(RadioListener* listener) override { listener_ = listener; }
+  void start_receive() override;
+  void standby() override;
+  void sleep() override;
+  bool transmit(std::vector<std::uint8_t> frame) override;
+  bool start_cad() override;
+  RadioState state() const override { return state_; }
+  bool medium_busy() const override;
+  const phy::Modulation& modulation() const override {
+    return config_.modulation;
+  }
+
+  // -- Identity, geometry, configuration -------------------------------------
+  RadioId id() const { return id_; }
+  const RadioConfig& config() const { return config_; }
+
+  phy::Position position() const { return position_; }
+  /// Moves the radio (mobility support). Takes effect for frames that start
+  /// after the move.
+  void set_position(phy::Position p) { position_ = p; }
+
+  const RadioStats& stats() const { return stats_; }
+
+  /// Cumulative time spent in `state` since construction, including the
+  /// currently running stretch. Drives the energy model (radio/energy.h).
+  Duration time_in_state(RadioState state) const;
+
+  // -- Channel-facing internals (not for protocol code) -----------------------
+  /// True when the radio has been in Rx continuously since `t` (inclusive).
+  bool listening_since(TimePoint t) const;
+  /// Delivers a decoded frame (called by Channel at frame end).
+  void deliver(const std::vector<std::uint8_t>& frame, const FrameMeta& meta);
+  /// Ends the current transmission (called by Channel).
+  void finish_tx();
+
+ private:
+  void enter(RadioState next);
+
+  sim::Simulator& sim_;
+  Channel& channel_;
+  const RadioId id_;
+  phy::Position position_;
+  RadioConfig config_;
+  RadioListener* listener_ = nullptr;
+  RadioState state_ = RadioState::Standby;
+  TimePoint rx_since_;        // valid while state_ == Rx
+  TimePoint tx_started_;      // valid while state_ == Tx
+  sim::TimerId cad_timer_ = 0;
+  RadioStats stats_;
+  TimePoint state_entered_;   // when state_ last changed
+  Duration state_time_[5];    // accumulated per RadioState (indexed by value)
+};
+
+}  // namespace lm::radio

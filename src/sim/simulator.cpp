@@ -1,0 +1,77 @@
+#include "sim/simulator.h"
+
+#include "support/assert.h"
+#include "support/log.h"
+
+namespace lm::sim {
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() {
+  if (logger_attached_) Logger::instance().set_time_source(nullptr);
+}
+
+TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
+  LM_REQUIRE(t >= now_);
+  LM_REQUIRE(fn != nullptr);
+  const TimerId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+TimerId Simulator::schedule_after(Duration d, std::function<void()> fn) {
+  LM_REQUIRE(!d.is_negative());
+  return schedule_at(now_ + d, std::move(fn));
+}
+
+void Simulator::cancel(TimerId id) { live_.erase(id); }
+
+bool Simulator::is_pending(TimerId id) const { return live_.contains(id); }
+
+void Simulator::pop_cancelled() {
+  while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
+}
+
+bool Simulator::step() {
+  pop_cancelled();
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events, which mutates
+  // the queue under us otherwise.
+  Event ev = queue_.top();
+  queue_.pop();
+  live_.erase(ev.id);
+  LM_ASSERT(ev.at >= now_);
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  LM_REQUIRE(t >= now_);
+  stop_requested_ = false;
+  std::size_t processed = 0;
+  for (;;) {
+    pop_cancelled();
+    if (queue_.empty() || queue_.top().at > t) break;
+    step();
+    ++processed;
+    if (stop_requested_) return processed;
+  }
+  now_ = t;
+  return processed;
+}
+
+std::size_t Simulator::run() {
+  stop_requested_ = false;
+  std::size_t processed = 0;
+  while (!stop_requested_ && step()) ++processed;
+  return processed;
+}
+
+void Simulator::attach_logger_time_source() {
+  Logger::instance().set_time_source([this] { return now_.us(); });
+  logger_attached_ = true;
+}
+
+}  // namespace lm::sim

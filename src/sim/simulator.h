@@ -1,0 +1,101 @@
+// Deterministic discrete-event simulation engine.
+//
+// This replaces the FreeRTOS task/queue executor the original LoRaMesher
+// library runs on. All protocol logic in this repository is written as event
+// handlers scheduled on a Simulator, so a whole multi-node mesh runs
+// single-threaded and reproducibly: events at equal timestamps fire in
+// scheduling order (FIFO), and no wall-clock time ever leaks in.
+//
+// Usage:
+//   Simulator sim;
+//   sim.schedule_after(Duration::seconds(1), [&] { ... });
+//   sim.run_for(Duration::hours(1));
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "support/time.h"
+
+namespace lm::sim {
+
+/// Opaque handle for cancelling a scheduled event. Id 0 is never issued.
+using TimerId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now()). Returns a handle
+  /// usable with cancel().
+  TimerId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` (>= 0) after the current time.
+  TimerId schedule_after(Duration d, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
+  /// id is a harmless no-op, which lets callers keep stale handles safely.
+  void cancel(TimerId id);
+
+  /// True if the id refers to an event that has not yet fired or been
+  /// cancelled.
+  bool is_pending(TimerId id) const;
+
+  /// Runs events with timestamp <= `t`, then advances the clock to exactly
+  /// `t`. Returns the number of events processed.
+  std::size_t run_until(TimePoint t);
+
+  /// Runs for a span of simulated time from now().
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Runs one event if any is pending; returns whether one ran.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  std::size_t run();
+
+  /// Makes the innermost run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of scheduled-but-not-fired events.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Installs this simulator's clock as the logging time source for the
+  /// duration of the object's life (used by examples).
+  void attach_logger_time_source();
+
+ private:
+  struct Event {
+    TimePoint at;
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      // min-heap on (time, id): equal-time events fire in schedule order.
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void pop_cancelled();
+
+  TimePoint now_ = TimePoint::origin();
+  TimerId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> live_;  // ids scheduled and not cancelled/fired
+  bool stop_requested_ = false;
+  bool logger_attached_ = false;
+};
+
+}  // namespace lm::sim

@@ -1,0 +1,18 @@
+#include "support/byte_codec.h"
+
+#include <cstdio>
+
+namespace lm {
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char buf[4];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(buf, sizeof buf, i == 0 ? "%02X" : " %02X", data[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lm

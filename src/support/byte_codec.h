@@ -1,0 +1,120 @@
+// Bounded little-endian byte encoding/decoding for over-the-air packets.
+//
+// LoRaMesher frames are byte arrays at most 255 bytes long (SX127x FIFO).
+// ByteWriter appends fields to a growable buffer; ByteReader consumes fields
+// with explicit bounds checking and never reads past the end — a malformed
+// frame results in `ok() == false` rather than UB, mirroring how a robust
+// on-device parser must behave with corrupted radio payloads.
+//
+// Wire order is little-endian, matching the ESP32 (Xtensa LE) layout the
+// original library serializes structs with.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lm {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFULL));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// False once any read has run past the end; all subsequent reads yield 0.
+  bool ok() const { return ok_; }
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+  /// True when the frame was fully consumed without overrun.
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!ensure(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+
+  /// Reads exactly n bytes; returns an empty vector (and poisons the reader)
+  /// if fewer remain.
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Consumes the rest of the frame.
+  std::vector<std::uint8_t> rest() { return bytes(remaining()); }
+
+ private:
+  bool ensure(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Renders bytes as hex for logs and test diagnostics, e.g. "0A FF 12".
+std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace lm

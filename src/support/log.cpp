@@ -1,0 +1,29 @@
+#include "support/log.h"
+
+#include <cstdio>
+
+namespace lm {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const char* tag, const char* fmt, ...) {
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  char line[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof line, fmt, args);
+  va_end(args);
+  if (time_source_) {
+    const long long us = time_source_();
+    std::fprintf(stderr, "[%12.6f] %-5s %-10s %s\n",
+                 static_cast<double>(us) / 1e6,
+                 kNames[static_cast<int>(level)], tag, line);
+  } else {
+    std::fprintf(stderr, "%-5s %-10s %s\n", kNames[static_cast<int>(level)], tag, line);
+  }
+}
+
+}  // namespace lm

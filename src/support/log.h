@@ -1,0 +1,53 @@
+// Minimal leveled logger with a pluggable simulation-time source.
+//
+// The discrete-event engine installs a time source so every line carries the
+// *simulated* timestamp — essential when debugging protocol traces where wall
+// time is meaningless. Logging defaults to Warn so tests and benches stay
+// quiet; examples raise it to Info/Debug to show protocol behaviour.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace lm {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Installs a callback returning the current simulated time in us, shown as
+  /// a prefix on every line. Pass nullptr to revert to no prefix.
+  void set_time_source(std::function<long long()> source) {
+    time_source_ = std::move(source);
+  }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const char* tag, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::function<long long()> time_source_;
+};
+
+}  // namespace lm
+
+#define LM_LOG(level, tag, ...)                                      \
+  do {                                                               \
+    if (::lm::Logger::instance().enabled(level))                     \
+      ::lm::Logger::instance().log(level, tag, __VA_ARGS__);         \
+  } while (false)
+
+#define LM_TRACE(tag, ...) LM_LOG(::lm::LogLevel::Trace, tag, __VA_ARGS__)
+#define LM_DEBUG(tag, ...) LM_LOG(::lm::LogLevel::Debug, tag, __VA_ARGS__)
+#define LM_INFO(tag, ...) LM_LOG(::lm::LogLevel::Info, tag, __VA_ARGS__)
+#define LM_WARN(tag, ...) LM_LOG(::lm::LogLevel::Warn, tag, __VA_ARGS__)
+#define LM_ERROR(tag, ...) LM_LOG(::lm::LogLevel::Error, tag, __VA_ARGS__)

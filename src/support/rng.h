@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of a scenario (shadowing, packet jitter, traffic
+// arrival, backoff) draws from an Rng seeded from the scenario seed, so a
+// scenario replays bit-identically given the same seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), seeded via SplitMix64;
+// it is much faster than std::mt19937_64 and has no std-library
+// implementation-defined distribution behaviour — the distributions below
+// are our own, so results are identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lm {
+
+class Rng {
+ public:
+  /// Seeds the stream; two Rng objects with equal seeds produce equal output.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child stream, e.g. one per node. Children with
+  /// distinct tags are statistically independent of each other and of the
+  /// parent's future output.
+  Rng fork(std::uint64_t tag);
+
+  /// Uniform on the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Exponential with the given mean (> 0); used for Poisson arrivals.
+  double exponential(double mean);
+
+  /// A uniformly random element index for a container of size n (n > 0).
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace lm

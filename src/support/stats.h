@@ -1,0 +1,61 @@
+// Streaming statistics used by the metrics layer and benches.
+//
+// RunningStats keeps count/mean/variance/min/max in O(1) memory (Welford's
+// algorithm). Histogram keeps all samples to report exact percentiles; the
+// sample counts in these simulations (up to ~1e6) make that affordable and
+// exactness matters when comparing protocol variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lm {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return count_ > 0 ? mean_ * static_cast<double>(count_) : 0.0; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Exact percentile by linear interpolation between order statistics.
+  /// q in [0, 100]; returns 0 for an empty histogram.
+  double percentile(double q) const;
+
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+  /// "n=..., mean=..., p50=..., p95=..., max=..." — for bench tables.
+  std::string summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace lm

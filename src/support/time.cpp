@@ -1,0 +1,26 @@
+#include "support/time.h"
+
+#include <cstdio>
+
+namespace lm {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const std::int64_t a = us_ < 0 ? -us_ : us_;
+  if (a >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(us_) / 1e6);
+  } else if (a >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(us_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", static_cast<double>(us_) / 1e6);
+  return buf;
+}
+
+}  // namespace lm

@@ -1,0 +1,116 @@
+// Strong time types for the simulation and protocol layers.
+//
+// All protocol timing (airtime, beacon intervals, timeouts) is expressed in
+// these types rather than raw integers so that seconds/milliseconds mixups
+// are compile errors. Resolution is one microsecond, which comfortably
+// resolves LoRa symbol times (the shortest, SF5@500kHz, is 64 us; the
+// configurations this library supports, SF7..SF12 at 125-500 kHz, are all
+// >= 256 us).
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lm {
+
+/// A signed span of simulated time with microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration microseconds(std::int64_t us) { return Duration(us); }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000); }
+  static constexpr Duration minutes(std::int64_t m) { return Duration(m * 60'000'000); }
+  static constexpr Duration hours(std::int64_t h) { return Duration(h * 3'600'000'000LL); }
+
+  /// Converts a floating-point second count, rounding to the nearest us.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr std::int64_t ms() const { return us_ / 1000; }
+  constexpr double seconds_d() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.us_ + b.us_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.us_ - b.us_); }
+  template <std::integral I>
+  friend constexpr Duration operator*(Duration a, I k) {
+    return Duration(a.us_ * static_cast<std::int64_t>(k));
+  }
+  template <std::integral I>
+  friend constexpr Duration operator*(I k, Duration a) {
+    return a * k;
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration::from_seconds(a.seconds_d() * k);
+  }
+  template <std::integral I>
+  friend constexpr Duration operator/(Duration a, I k) {
+    return Duration(a.us_ / static_cast<std::int64_t>(k));
+  }
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+  constexpr Duration operator-() const { return Duration(-us_); }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering, e.g. "1.500s", "250ms", "64us".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulation clock (us since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint origin() { return TimePoint(0); }
+  static constexpr TimePoint from_us(std::int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double seconds_d() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint(t.us_ + d.us());
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint(t.us_ - d.us());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::microseconds(a.us_ - b.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { us_ += d.us(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace lm

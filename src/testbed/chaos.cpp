@@ -1,0 +1,81 @@
+#include "testbed/chaos.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+#include "support/log.h"
+
+namespace lm::testbed {
+
+ChaosMonkey::ChaosMonkey(MeshScenario& scenario, ChaosConfig config,
+                         std::uint64_t seed)
+    : scenario_(scenario), config_(std::move(config)), rng_(seed) {
+  LM_REQUIRE(config_.mean_time_between_failures > Duration::zero());
+  LM_REQUIRE(config_.min_outage > Duration::zero());
+  LM_REQUIRE(config_.max_outage >= config_.min_outage);
+}
+
+ChaosMonkey::~ChaosMonkey() { stop(); }
+
+void ChaosMonkey::start() {
+  LM_REQUIRE(!running_);
+  running_ = true;
+  schedule_next_failure();
+}
+
+void ChaosMonkey::stop() {
+  running_ = false;
+  if (timer_ != 0) {
+    scenario_.simulator().cancel(timer_);
+    timer_ = 0;
+  }
+}
+
+bool ChaosMonkey::is_protected(std::size_t index) const {
+  return std::find(config_.protected_nodes.begin(), config_.protected_nodes.end(),
+                   index) != config_.protected_nodes.end();
+}
+
+std::size_t ChaosMonkey::running_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < scenario_.size(); ++i) {
+    if (scenario_.node(i).running()) ++n;
+  }
+  return n;
+}
+
+void ChaosMonkey::schedule_next_failure() {
+  const Duration gap = Duration::from_seconds(
+      rng_.exponential(config_.mean_time_between_failures.seconds_d()));
+  timer_ = scenario_.simulator().schedule_after(gap, [this] {
+    timer_ = 0;
+    inject_failure();
+  });
+}
+
+void ChaosMonkey::inject_failure() {
+  if (!running_) return;
+  // Pick a random victim among running, unprotected nodes.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < scenario_.size(); ++i) {
+    if (scenario_.node(i).running() && !is_protected(i)) candidates.push_back(i);
+  }
+  if (!candidates.empty() && running_count() > config_.min_alive) {
+    const std::size_t victim = candidates[rng_.index(candidates.size())];
+    scenario_.node(victim).stop();
+    ++failures_;
+    LM_DEBUG("chaos", "killed node %zu", victim);
+    const Duration outage = Duration::from_seconds(rng_.uniform(
+        config_.min_outage.seconds_d(), config_.max_outage.seconds_d() + 1e-9));
+    scenario_.simulator().schedule_after(outage, [this, victim] {
+      if (!scenario_.node(victim).running()) {
+        scenario_.node(victim).start();
+        ++recoveries_;
+        LM_DEBUG("chaos", "revived node %zu", victim);
+      }
+    });
+  }
+  if (running_) schedule_next_failure();
+}
+
+}  // namespace lm::testbed

@@ -1,0 +1,60 @@
+// ChaosMonkey: random node failures and recoveries for robustness testing.
+//
+// At random intervals it stops a random running node; stopped nodes come
+// back after a random outage. The mesh must keep (eventually) routing
+// around whatever is up — the property the long-haul stability tests pin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "testbed/scenario.h"
+
+namespace lm::testbed {
+
+struct ChaosConfig {
+  /// Mean time between kill events (exponential).
+  Duration mean_time_between_failures = Duration::minutes(10);
+  /// Outage duration range (uniform).
+  Duration min_outage = Duration::minutes(2);
+  Duration max_outage = Duration::minutes(20);
+  /// Never take the network below this many running nodes.
+  std::size_t min_alive = 2;
+  /// Indices the monkey must not touch (e.g. the sink under test).
+  std::vector<std::size_t> protected_nodes;
+};
+
+class ChaosMonkey {
+ public:
+  ChaosMonkey(MeshScenario& scenario, ChaosConfig config, std::uint64_t seed);
+  ~ChaosMonkey();
+
+  ChaosMonkey(const ChaosMonkey&) = delete;
+  ChaosMonkey& operator=(const ChaosMonkey&) = delete;
+
+  void start();
+  /// Stops scheduling new failures; nodes already down still recover.
+  void stop();
+
+  std::uint64_t failures_injected() const { return failures_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  void schedule_next_failure();
+  void inject_failure();
+  bool is_protected(std::size_t index) const;
+  std::size_t running_count() const;
+
+  MeshScenario& scenario_;
+  ChaosConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  sim::TimerId timer_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace lm::testbed

@@ -1,0 +1,54 @@
+#include "testbed/flood_scenario.h"
+
+#include "support/assert.h"
+
+namespace lm::testbed {
+
+FloodScenario::FloodScenario(FloodScenarioConfig config)
+    : config_(std::move(config)) {
+  channel_ = std::make_unique<radio::Channel>(sim_, config_.propagation,
+                                              config_.seed ^ 0xC0FFEE);
+}
+
+FloodScenario::~FloodScenario() {
+  nodes_.clear();
+  radios_.clear();
+}
+
+std::size_t FloodScenario::add_node(phy::Position position) {
+  const std::size_t index = nodes_.size();
+  radios_.push_back(std::make_unique<radio::VirtualRadio>(
+      sim_, *channel_, static_cast<radio::RadioId>(index + 1), position,
+      config_.radio));
+  nodes_.push_back(std::make_unique<baseline::FloodingNode>(
+      sim_, *radios_.back(), address_of(index), config_.flood,
+      config_.seed * 0x9E3779B97F4A7C15ULL + index + 1));
+  return index;
+}
+
+void FloodScenario::add_nodes(const std::vector<phy::Position>& positions) {
+  for (const phy::Position& p : positions) add_node(p);
+}
+
+net::Address FloodScenario::address_of(std::size_t i) const {
+  LM_REQUIRE(i < 0xFFFE);
+  return static_cast<net::Address>(i + 1);
+}
+
+void FloodScenario::start_all() {
+  for (auto& node : nodes_) node->start();
+}
+
+Duration FloodScenario::total_airtime() const {
+  Duration total = Duration::zero();
+  for (const auto& node : nodes_) total += node->stats().airtime;
+  return total;
+}
+
+std::uint64_t FloodScenario::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().bytes_sent;
+  return total;
+}
+
+}  // namespace lm::testbed

@@ -1,0 +1,58 @@
+// FloodScenario — the flooding-baseline counterpart of MeshScenario: one
+// simulator + channel + FloodingNodes, with the same address assignment so
+// experiments can swap protocols without touching the rest of the harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/flooding_node.h"
+#include "phy/geometry.h"
+#include "radio/channel.h"
+#include "radio/virtual_radio.h"
+#include "sim/simulator.h"
+
+namespace lm::testbed {
+
+struct FloodScenarioConfig {
+  std::uint64_t seed = 1;
+  radio::PropagationConfig propagation = radio::PropagationConfig::campus();
+  radio::RadioConfig radio;
+  baseline::FloodConfig flood;
+};
+
+class FloodScenario {
+ public:
+  explicit FloodScenario(FloodScenarioConfig config);
+  ~FloodScenario();
+
+  FloodScenario(const FloodScenario&) = delete;
+  FloodScenario& operator=(const FloodScenario&) = delete;
+
+  std::size_t add_node(phy::Position position);
+  void add_nodes(const std::vector<phy::Position>& positions);
+
+  std::size_t size() const { return nodes_.size(); }
+  sim::Simulator& simulator() { return sim_; }
+  radio::Channel& channel() { return *channel_; }
+  baseline::FloodingNode& node(std::size_t i) { return *nodes_.at(i); }
+  radio::VirtualRadio& radio(std::size_t i) { return *radios_.at(i); }
+  net::Address address_of(std::size_t i) const;
+
+  void start_all();
+  void run_for(Duration d) { sim_.run_for(d); }
+
+  /// Total airtime spent by all nodes.
+  Duration total_airtime() const;
+  std::uint64_t total_bytes_sent() const;
+
+ private:
+  FloodScenarioConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<radio::Channel> channel_;
+  std::vector<std::unique_ptr<radio::VirtualRadio>> radios_;
+  std::vector<std::unique_ptr<baseline::FloodingNode>> nodes_;
+};
+
+}  // namespace lm::testbed

@@ -1,0 +1,183 @@
+#include "testbed/scenario.h"
+
+#include "support/assert.h"
+
+namespace lm::testbed {
+
+void apply_region(ScenarioConfig& config, const phy::RegionParams& region) {
+  LM_REQUIRE(!region.default_channels_hz.empty());
+  config.radio.frequency_hz = region.default_channels_hz.front();
+  const phy::SubBand* band =
+      phy::sub_band_of(region, config.radio.frequency_hz);
+  LM_ASSERT(band != nullptr);
+  if (config.radio.tx_power_dbm > band->max_erp_dbm) {
+    config.radio.tx_power_dbm = band->max_erp_dbm;
+  }
+  config.mesh.duty_cycle_limit = band->duty_cycle_limit;
+  config.mesh.max_dwell_time = region.max_dwell_time;
+}
+
+MeshScenario::MeshScenario(ScenarioConfig config) : config_(std::move(config)) {
+  channel_ = std::make_unique<radio::Channel>(sim_, config_.propagation,
+                                              config_.seed ^ 0xC0FFEE);
+}
+
+MeshScenario::~MeshScenario() {
+  // Nodes reference radios; destroy them first.
+  nodes_.clear();
+  radios_.clear();
+}
+
+std::size_t MeshScenario::add_node(phy::Position position, net::Role role) {
+  const std::size_t index = nodes_.size();
+  const net::Address address = address_of(index);
+  radios_.push_back(std::make_unique<radio::VirtualRadio>(
+      sim_, *channel_, static_cast<radio::RadioId>(index + 1), position,
+      config_.radio));
+  net::MeshConfig node_config = config_.mesh;
+  node_config.role = role;
+  nodes_.push_back(std::make_unique<net::MeshNode>(
+      sim_, *radios_.back(), address, node_config,
+      config_.seed * 0x9E3779B97F4A7C15ULL + index + 1));
+  return index;
+}
+
+std::size_t MeshScenario::add_node(phy::Position position) {
+  return add_node(position, config_.mesh.role);
+}
+
+void MeshScenario::add_nodes(const std::vector<phy::Position>& positions) {
+  for (const phy::Position& p : positions) add_node(p);
+}
+
+net::Address MeshScenario::address_of(std::size_t i) const {
+  LM_REQUIRE(i < 0xFFFE);
+  return static_cast<net::Address>(i + 1);
+}
+
+std::optional<std::size_t> MeshScenario::index_of(net::Address address) const {
+  if (address == net::kUnassigned || address == net::kBroadcast) return std::nullopt;
+  const std::size_t index = static_cast<std::size_t>(address) - 1;
+  if (index >= nodes_.size()) return std::nullopt;
+  return index;
+}
+
+void MeshScenario::start_all() {
+  for (auto& node : nodes_) node->start();
+}
+
+bool MeshScenario::good_link(std::size_t a, std::size_t b, double threshold) const {
+  if (a == b) return false;
+  return channel_->link_quality(*radios_.at(a), *radios_.at(b)) >= threshold &&
+         channel_->link_quality(*radios_.at(b), *radios_.at(a)) >= threshold;
+}
+
+std::vector<std::vector<int>> MeshScenario::expected_hops(double threshold) const {
+  const std::size_t n = nodes_.size();
+  auto hops = hop_matrix(n, [&](std::size_t a, std::size_t b) {
+    return nodes_[a]->running() && nodes_[b]->running() &&
+           good_link(a, b, threshold);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!nodes_[i]->running()) {
+      for (std::size_t j = 0; j < n; ++j) hops[i][j] = hops[j][i] = -1;
+    }
+  }
+  return hops;
+}
+
+bool MeshScenario::route_usable(std::size_t from, std::size_t to,
+                                double threshold) const {
+  LM_REQUIRE(from < nodes_.size() && to < nodes_.size());
+  if (from == to) return true;
+  std::size_t cur = from;
+  // A loop-free path visits each node at most once.
+  for (std::size_t steps = 0; steps < nodes_.size(); ++steps) {
+    if (!nodes_[cur]->running()) return false;
+    const auto via = nodes_[cur]->routing_table().next_hop(address_of(to));
+    if (!via) return false;
+    const auto next = index_of(*via);
+    if (!next || !nodes_[*next]->running()) return false;
+    if (!good_link(cur, *next, threshold)) return false;
+    if (*next == to) return true;
+    cur = *next;
+  }
+  return false;  // looped
+}
+
+bool MeshScenario::converged(double threshold, bool exact_metric) const {
+  const auto expected = expected_hops(threshold);
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!nodes_[i]->running()) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || expected[i][j] < 0) continue;
+      const auto route = nodes_[i]->routing_table().route_to(address_of(j));
+      if (!route) return false;
+      if (exact_metric && route->metric != expected[i][j]) return false;
+      if (!route_usable(i, j, threshold)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Duration> MeshScenario::run_until_converged(Duration deadline,
+                                                          Duration check_every,
+                                                          double threshold,
+                                                          bool exact_metric) {
+  LM_REQUIRE(check_every > Duration::zero());
+  const TimePoint begin = sim_.now();
+  const TimePoint limit = begin + deadline;
+  while (sim_.now() < limit) {
+    if (converged(threshold, exact_metric)) return sim_.now() - begin;
+    Duration step = check_every;
+    if (sim_.now() + step > limit) step = limit - sim_.now();
+    sim_.run_for(step);
+  }
+  if (converged(threshold, exact_metric)) return sim_.now() - begin;
+  return std::nullopt;
+}
+
+std::string MeshScenario::dump_routing_tables() const {
+  std::string out;
+  for (const auto& node : nodes_) {
+    out += node->routing_table().to_string();
+  }
+  return out;
+}
+
+net::NodeStats MeshScenario::total_stats() const {
+  net::NodeStats total;
+  for (const auto& node : nodes_) {
+    const net::NodeStats& s = node->stats();
+    total.beacons_sent += s.beacons_sent;
+    total.beacons_received += s.beacons_received;
+    total.routing_changes += s.routing_changes;
+    total.datagrams_sent += s.datagrams_sent;
+    total.datagrams_delivered += s.datagrams_delivered;
+    total.broadcasts_sent += s.broadcasts_sent;
+    total.broadcasts_delivered += s.broadcasts_delivered;
+    total.packets_forwarded += s.packets_forwarded;
+    total.dropped_no_route += s.dropped_no_route;
+    total.dropped_ttl += s.dropped_ttl;
+    total.dropped_queue_full += s.dropped_queue_full;
+    total.malformed_frames += s.malformed_frames;
+    total.foreign_frames += s.foreign_frames;
+    total.cad_busy_events += s.cad_busy_events;
+    total.forced_transmissions += s.forced_transmissions;
+    total.duty_cycle_delays += s.duty_cycle_delays;
+    total.control_bytes_sent += s.control_bytes_sent;
+    total.data_bytes_sent += s.data_bytes_sent;
+    total.control_airtime += s.control_airtime;
+    total.data_airtime += s.data_airtime;
+    total.transfers_started += s.transfers_started;
+    total.transfers_completed += s.transfers_completed;
+    total.transfers_failed += s.transfers_failed;
+    total.transfers_received += s.transfers_received;
+    total.fragments_sent += s.fragments_sent;
+    total.fragments_retransmitted += s.fragments_retransmitted;
+  }
+  return total;
+}
+
+}  // namespace lm::testbed

@@ -1,0 +1,115 @@
+// MeshScenario — one fully wired LoRaMesher deployment: simulator, channel,
+// radios and nodes, plus the convergence oracle the experiments need.
+//
+// The oracle: from the channel's own link-quality estimates we build the
+// "good link" graph (both directions decode with probability >= threshold),
+// BFS it for ground-truth hop counts, and declare the mesh converged when
+// every running node's routing table holds a route to every reachable
+// running peer (optionally with the exact shortest-path metric).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/mesh_node.h"
+#include "phy/geometry.h"
+#include "phy/region.h"
+#include "radio/channel.h"
+#include "radio/virtual_radio.h"
+#include "sim/simulator.h"
+#include "testbed/topology.h"
+
+namespace lm::testbed {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  radio::PropagationConfig propagation = radio::PropagationConfig::campus();
+  radio::RadioConfig radio;  // modulation, frequency, power shared by all nodes
+  net::MeshConfig mesh;
+};
+
+/// Applies a regional band plan to a scenario config: tunes the radio to
+/// the region's first default channel, caps TX power at the sub-band's ERP
+/// ceiling, and adopts its duty-cycle limit for the mesh.
+void apply_region(ScenarioConfig& config, const phy::RegionParams& region);
+
+class MeshScenario {
+ public:
+  explicit MeshScenario(ScenarioConfig config);
+  ~MeshScenario();
+
+  MeshScenario(const MeshScenario&) = delete;
+  MeshScenario& operator=(const MeshScenario&) = delete;
+
+  // --- Construction -----------------------------------------------------------
+  /// Adds a node at `position`; returns its index. Addresses are assigned
+  /// 0x0001, 0x0002, ... in creation order. `role` overrides the shared
+  /// MeshConfig role for this node (e.g. one gateway in a field of sensors).
+  std::size_t add_node(phy::Position position, net::Role role);
+  std::size_t add_node(phy::Position position);
+  void add_nodes(const std::vector<phy::Position>& positions);
+
+  // --- Access ------------------------------------------------------------------
+  std::size_t size() const { return nodes_.size(); }
+  sim::Simulator& simulator() { return sim_; }
+  TimePoint now() const { return sim_.now(); }
+  radio::Channel& channel() { return *channel_; }
+  net::MeshNode& node(std::size_t i) { return *nodes_.at(i); }
+  const net::MeshNode& node(std::size_t i) const { return *nodes_.at(i); }
+  radio::VirtualRadio& radio(std::size_t i) { return *radios_.at(i); }
+  net::Address address_of(std::size_t i) const;
+  /// Index of the node owning `address`; nullopt if unknown.
+  std::optional<std::size_t> index_of(net::Address address) const;
+
+  // --- Lifecycle ------------------------------------------------------------------
+  void start_all();
+  /// Stops one node (crash/power-off). Its routes age out of the others.
+  void fail_node(std::size_t i) { node(i).stop(); }
+  void run_for(Duration d) { sim_.run_for(d); }
+  void run_until(TimePoint t) { sim_.run_until(t); }
+
+  // --- Convergence oracle ------------------------------------------------------------
+  /// True when both directions of (a, b) decode with probability >= threshold.
+  bool good_link(std::size_t a, std::size_t b, double threshold = 0.9) const;
+
+  /// Ground-truth hop counts over good links between *running* nodes;
+  /// -1 for unreachable or stopped endpoints.
+  std::vector<std::vector<int>> expected_hops(double threshold = 0.9) const;
+
+  /// True when the tables at `from` actually carry a packet to `to`:
+  /// follows next_hop() node by node, requiring every hop to be a running
+  /// node over a good link, without loops. This is the data-plane truth —
+  /// a stale route pointing at a dead relay fails it.
+  bool route_usable(std::size_t from, std::size_t to, double threshold = 0.9) const;
+
+  /// True when every running node has a *usable* route (see route_usable)
+  /// to every reachable running peer. With `exact_metric`, the route metric
+  /// must additionally equal the BFS optimum.
+  bool converged(double threshold = 0.9, bool exact_metric = true) const;
+
+  /// Runs until converged() or `deadline` elapses, probing every
+  /// `check_every`. Returns simulated time elapsed (from call) on success.
+  std::optional<Duration> run_until_converged(
+      Duration deadline, Duration check_every = Duration::seconds(5),
+      double threshold = 0.9, bool exact_metric = true);
+
+  /// Multi-line dump of every routing table (demo output).
+  std::string dump_routing_tables() const;
+
+  /// Aggregate of all nodes' counters.
+  net::NodeStats total_stats() const;
+
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  ScenarioConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<radio::Channel> channel_;
+  std::vector<std::unique_ptr<radio::VirtualRadio>> radios_;
+  std::vector<std::unique_ptr<net::MeshNode>> nodes_;
+};
+
+}  // namespace lm::testbed

@@ -1,0 +1,67 @@
+// Promiscuous mesh sniffer.
+//
+// A passive radio that overhears every decodable frame on the channel and
+// keeps a decoded capture log — the simulated equivalent of the monitor
+// node developers attach to a LoRaMesher testbed. Tests use it to assert
+// on-air behaviour (what was actually transmitted, not what nodes claim),
+// and examples use it to print live protocol traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "radio/virtual_radio.h"
+#include "sim/simulator.h"
+
+namespace lm::testbed {
+
+struct CapturedFrame {
+  TimePoint at;                 // end of frame (decode instant)
+  radio::FrameMeta meta;        // rssi/snr/transmitter ground truth
+  std::vector<std::uint8_t> raw;
+  std::optional<net::Packet> packet;  // nullopt: not a LoRaMesher frame
+};
+
+class Sniffer final : public radio::RadioListener {
+ public:
+  /// Creates the monitor radio at `position` and starts listening.
+  Sniffer(sim::Simulator& sim, radio::Channel& channel, radio::RadioId id,
+          phy::Position position, radio::RadioConfig config = {});
+  ~Sniffer() override;
+
+  Sniffer(const Sniffer&) = delete;
+  Sniffer& operator=(const Sniffer&) = delete;
+
+  /// Optional live callback per captured frame (in addition to the log).
+  void set_callback(std::function<void(const CapturedFrame&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  const std::vector<CapturedFrame>& captures() const { return captures_; }
+  void clear() { captures_.clear(); }
+
+  /// Captured frames of one packet type.
+  std::size_t count_of(net::PacketType type) const;
+  /// Frames that failed to decode as LoRaMesher packets.
+  std::size_t undecodable() const;
+
+  /// Multi-line rendering of the capture log ("t=... RSSI dBm DESC").
+  std::string dump() const;
+
+  radio::VirtualRadio& radio() { return radio_; }
+
+  void on_frame_received(const std::vector<std::uint8_t>& frame,
+                         const radio::FrameMeta& meta) override;
+
+ private:
+  sim::Simulator& sim_;
+  radio::VirtualRadio radio_;
+  std::vector<CapturedFrame> captures_;
+  std::function<void(const CapturedFrame&)> callback_;
+};
+
+}  // namespace lm::testbed

@@ -1,0 +1,108 @@
+#include "testbed/topology.h"
+
+#include <cmath>
+#include <queue>
+
+#include "support/assert.h"
+
+namespace lm::testbed {
+
+std::vector<phy::Position> chain(std::size_t n, double spacing_m) {
+  LM_REQUIRE(spacing_m > 0.0);
+  std::vector<phy::Position> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<double>(i) * spacing_m, 0.0});
+  }
+  return out;
+}
+
+std::vector<phy::Position> grid(std::size_t rows, std::size_t cols,
+                                double spacing_m) {
+  LM_REQUIRE(spacing_m > 0.0);
+  std::vector<phy::Position> out;
+  out.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.push_back({static_cast<double>(c) * spacing_m,
+                     static_cast<double>(r) * spacing_m});
+    }
+  }
+  return out;
+}
+
+std::vector<phy::Position> star(std::size_t leaves, double radius_m) {
+  LM_REQUIRE(radius_m > 0.0);
+  std::vector<phy::Position> out;
+  out.reserve(leaves + 1);
+  out.push_back({0.0, 0.0});
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(leaves);
+    out.push_back({radius_m * std::cos(angle), radius_m * std::sin(angle)});
+  }
+  return out;
+}
+
+std::vector<phy::Position> random_field(std::size_t n, double width_m,
+                                        double height_m, Rng& rng) {
+  LM_REQUIRE(width_m > 0.0 && height_m > 0.0);
+  std::vector<phy::Position> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+  }
+  return out;
+}
+
+std::vector<phy::Position> connected_random_field(std::size_t n, double width_m,
+                                                  double height_m,
+                                                  double max_link_m, Rng& rng,
+                                                  int max_tries) {
+  LM_REQUIRE(max_link_m > 0.0);
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    auto candidate = random_field(n, width_m, height_m, rng);
+    const auto linked = [&](std::size_t a, std::size_t b) {
+      return phy::distance_m(candidate[a], candidate[b]) <= max_link_m;
+    };
+    if (is_connected(n, linked)) return candidate;
+  }
+  throw ContractViolation(
+      "connected_random_field: layout parameters infeasible (no connected "
+      "layout found)");
+}
+
+std::vector<std::vector<int>> hop_matrix(
+    std::size_t n, const std::function<bool(std::size_t, std::size_t)>& linked) {
+  std::vector<std::vector<int>> hops(n, std::vector<int>(n, -1));
+  for (std::size_t src = 0; src < n; ++src) {
+    hops[src][src] = 0;
+    std::queue<std::size_t> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop();
+      for (std::size_t next = 0; next < n; ++next) {
+        if (hops[src][next] == -1 && linked(cur, next)) {
+          hops[src][next] = hops[src][cur] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return hops;
+}
+
+bool is_connected(std::size_t n,
+                  const std::function<bool(std::size_t, std::size_t)>& linked) {
+  if (n == 0) return true;
+  const auto hops = hop_matrix(n, linked);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (hops[i][j] == -1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lm::testbed

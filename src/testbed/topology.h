@@ -1,0 +1,50 @@
+// Node placement generators for scenarios.
+//
+// All generators return positions in meters. The paper's testbed is a
+// handful of boards spread over a campus; chain/grid/star are the canonical
+// controlled abstractions of such deployments and the random field scales
+// them up for the larger experiments.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "phy/geometry.h"
+#include "support/rng.h"
+
+namespace lm::testbed {
+
+/// n nodes on a line, `spacing` meters apart: 0 — 1 — 2 — ...
+std::vector<phy::Position> chain(std::size_t n, double spacing_m);
+
+/// rows x cols lattice with `spacing` meters between neighbors.
+std::vector<phy::Position> grid(std::size_t rows, std::size_t cols, double spacing_m);
+
+/// One hub at the origin (index 0) and `leaves` nodes evenly spread on a
+/// circle of `radius` meters.
+std::vector<phy::Position> star(std::size_t leaves, double radius_m);
+
+/// n nodes uniformly at random in a width x height rectangle.
+std::vector<phy::Position> random_field(std::size_t n, double width_m,
+                                        double height_m, Rng& rng);
+
+/// Random field resampled until the unit-disk graph with radius
+/// `max_link_m` is connected. Throws ContractViolation when `max_tries`
+/// resamples never produce a connected layout (parameters are infeasible).
+std::vector<phy::Position> connected_random_field(std::size_t n, double width_m,
+                                                  double height_m,
+                                                  double max_link_m, Rng& rng,
+                                                  int max_tries = 200);
+
+/// BFS hop counts over an arbitrary link predicate. result[i][j] is the
+/// minimum number of hops from i to j, or -1 when unreachable. `linked`
+/// need not be symmetric; hops follow directed edges i -> j.
+std::vector<std::vector<int>> hop_matrix(
+    std::size_t n, const std::function<bool(std::size_t, std::size_t)>& linked);
+
+/// True when every node reaches every other over `linked`.
+bool is_connected(std::size_t n,
+                  const std::function<bool(std::size_t, std::size_t)>& linked);
+
+}  // namespace lm::testbed

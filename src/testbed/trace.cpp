@@ -1,0 +1,85 @@
+#include "testbed/trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace lm::testbed {
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string frame_to_json(const CapturedFrame& frame) {
+  std::string out;
+  append(out, R"({"kind":"frame","t":%.6f,"rssi":%.1f,"snr":%.1f,"tx":%u)",
+         frame.at.seconds_d(), frame.meta.rssi_dbm, frame.meta.snr_db,
+         frame.meta.transmitter);
+  if (!frame.packet) {
+    append(out, R"(,"undecodable":true,"bytes":%zu})", frame.raw.size());
+    out += '\n';
+    return out;
+  }
+  const net::LinkHeader& link = net::link_of(*frame.packet);
+  append(out, R"(,"type":"%s","src":"%s","dst":"%s")",
+         net::to_string(link.type), net::to_string(link.src).c_str(),
+         net::to_string(link.dst).c_str());
+  if (const net::RouteHeader* route = net::route_of(*frame.packet)) {
+    append(out, R"(,"origin":"%s","final":"%s","ttl":%u,"id":%u)",
+           net::to_string(route->origin).c_str(),
+           net::to_string(route->final_dst).c_str(), route->ttl,
+           route->packet_id);
+  }
+  append(out, R"(,"bytes":%zu})", frame.raw.size());
+  out += '\n';
+  return out;
+}
+
+std::string captures_to_json(const Sniffer& sniffer) {
+  std::string out;
+  for (const CapturedFrame& frame : sniffer.captures()) {
+    out += frame_to_json(frame);
+  }
+  return out;
+}
+
+std::string routes_to_json(const MeshScenario& scenario) {
+  std::string out;
+  const double t = scenario.now().seconds_d();
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    const net::MeshNode& node = scenario.node(i);
+    for (const net::RouteEntry& e : node.routing_table().entries()) {
+      append(out,
+             R"({"kind":"route","t":%.6f,"node":"%s","dst":"%s","via":"%s",)"
+             R"("metric":%u,"role":"%s"})",
+             t, net::to_string(node.address()).c_str(),
+             net::to_string(e.destination).c_str(),
+             net::to_string(e.via).c_str(), e.metric,
+             net::role_to_string(e.role).c_str());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok && written != text.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace lm::testbed

@@ -1,0 +1,37 @@
+// JSONL trace export — the scenario's flight recorder.
+//
+// Serializes sniffer captures and routing-table snapshots as JSON Lines
+// (one self-contained JSON object per line), the format log pipelines and
+// notebooks ingest directly. Everything is written with a minimal
+// hand-rolled emitter — the schema is flat, so no JSON library is needed.
+//
+// Record kinds:
+//   {"kind":"frame","t":12.345,"rssi":-98.2,"snr":18.8,"tx":3,
+//    "type":"DATA","src":"0x0001","dst":"0x0002","origin":"0x0001",
+//    "final":"0x0004","ttl":15,"id":7,"bytes":18}
+//   {"kind":"frame","t":...,"undecodable":true,"bytes":2}
+//   {"kind":"route","t":60.0,"node":"0x0001","dst":"0x0004",
+//    "via":"0x0002","metric":3,"role":"-"}
+#pragma once
+
+#include <string>
+
+#include "testbed/scenario.h"
+#include "testbed/sniffer.h"
+
+namespace lm::testbed {
+
+/// One captured frame as a JSON line (newline-terminated).
+std::string frame_to_json(const CapturedFrame& frame);
+
+/// The whole capture log as JSONL.
+std::string captures_to_json(const Sniffer& sniffer);
+
+/// Every routing-table entry of every node, stamped with the current
+/// simulated time, as JSONL.
+std::string routes_to_json(const MeshScenario& scenario);
+
+/// Writes `text` to `path` (truncating). Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text);
+
+}  // namespace lm::testbed

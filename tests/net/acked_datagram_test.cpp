@@ -1,0 +1,160 @@
+// End-to-end tests of the NEED_ACK path: acked datagrams across relays,
+// retransmission on loss, duplicate suppression, and failure reporting.
+#include <gtest/gtest.h>
+
+#include "net/mesh_node.h"
+#include "phy/path_loss.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+namespace lm::net {
+namespace {
+
+using testbed::MeshScenario;
+
+testbed::ScenarioConfig cfg(std::uint64_t seed = 3) {
+  testbed::ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.maintenance_interval = Duration::seconds(2);
+  c.mesh.duty_cycle_limit = 1.0;
+  c.mesh.acked_retry_timeout = Duration::seconds(5);
+  return c;
+}
+
+TEST(AckedDatagram, ConfirmedAcrossTwoHops) {
+  MeshScenario s(cfg());
+  s.add_nodes(testbed::chain(3, 400.0));
+  s.start_all();
+  ASSERT_TRUE(s.run_until_converged(Duration::minutes(5)).has_value());
+
+  std::vector<std::uint8_t> got;
+  s.node(2).set_datagram_handler(
+      [&](Address, const std::vector<std::uint8_t>& p, std::uint8_t hops) {
+        got = p;
+        EXPECT_EQ(hops, 2);
+      });
+  int outcome = -1;
+  ASSERT_TRUE(s.node(0).send_acked(s.address_of(2), {4, 5, 6},
+                                   [&](bool ok) { outcome = ok ? 1 : 0; }));
+  s.run_for(Duration::seconds(20));
+
+  EXPECT_EQ(outcome, 1);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{4, 5, 6}));
+  EXPECT_EQ(s.node(0).stats().acked_confirmed, 1u);
+  EXPECT_EQ(s.node(0).stats().acked_retransmissions, 0u);
+  EXPECT_EQ(s.node(2).stats().acked_delivered, 1u);
+  EXPECT_EQ(s.node(2).stats().acks_sent, 1u);
+}
+
+TEST(AckedDatagram, RetransmitsThroughLossAndDeliversOnce) {
+  MeshScenario s(cfg(5));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  // 50 % loss each way: first attempts often die, retries get through.
+  s.channel().set_link_extra_loss(1, 2, 0.5);
+
+  int deliveries = 0;
+  s.node(1).set_datagram_handler(
+      [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+        ++deliveries;
+      });
+  int confirmed = 0, failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    s.node(0).send_acked(s.address_of(1), {static_cast<std::uint8_t>(i)},
+                         [&](bool ok) { ok ? ++confirmed : ++failed; });
+    s.run_for(Duration::minutes(1));
+  }
+  // With 4 attempts at ~25 % round-trip success, most confirm.
+  EXPECT_GT(confirmed, 10);
+  EXPECT_GT(s.node(0).stats().acked_retransmissions, 5u);
+  // Duplicate suppression: every datagram delivered at most once, and
+  // deliveries >= confirmations (an ACK can die after delivery).
+  EXPECT_GE(deliveries, confirmed);
+  EXPECT_LE(deliveries, 20);
+  EXPECT_EQ(s.node(1).stats().acked_delivered,
+            static_cast<std::uint64_t>(deliveries));
+}
+
+TEST(AckedDatagram, DuplicateDeliveryIsSuppressedButReAcked) {
+  MeshScenario s(cfg(6));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+
+  // Block the reverse path AFTER delivery by making only ACKs die: simplest
+  // deterministic setup — drop everything B sends by blocking B's TX via
+  // extra loss in one direction is not supported (links are symmetric), so
+  // emulate with a sniffer-free approach: full loss, then heal.
+  int deliveries = 0;
+  s.node(1).set_datagram_handler(
+      [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+        ++deliveries;
+      });
+  int outcome = -1;
+  s.node(0).send_acked(s.address_of(1), {7}, [&](bool ok) { outcome = ok ? 1 : 0; });
+  // Let the first attempt deliver, then lose the ACK by blocking the link
+  // right after the datagram lands but before the (queued) ACK flies.
+  s.run_for(Duration::milliseconds(80));  // datagram (~62 ms) has landed
+  EXPECT_EQ(deliveries, 1);
+  s.channel().block_link(1, 2);
+  s.run_for(Duration::seconds(6));  // ACK lost; sender times out, retries die
+  s.channel().unblock_link(1, 2);
+  s.run_for(Duration::seconds(30));  // a retry gets through, is deduped, re-ACKed
+
+  EXPECT_EQ(outcome, 1);
+  EXPECT_EQ(deliveries, 1);  // never delivered twice
+  EXPECT_GE(s.node(1).stats().acked_duplicates, 1u);
+  EXPECT_GE(s.node(1).stats().acks_sent, 2u);
+}
+
+TEST(AckedDatagram, FailsAfterRetriesExhausted) {
+  MeshScenario s(cfg(7));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  s.channel().block_link(1, 2);  // nothing will ever get through
+
+  int outcome = -1;
+  ASSERT_TRUE(s.node(0).send_acked(s.address_of(1), {1},
+                                   [&](bool ok) { outcome = ok ? 1 : 0; }));
+  // 1 + 3 retries at 5 s timeouts.
+  s.run_for(Duration::minutes(2));
+  EXPECT_EQ(outcome, 0);
+  EXPECT_EQ(s.node(0).stats().acked_failed, 1u);
+  EXPECT_EQ(s.node(0).stats().acked_retransmissions, 3u);
+}
+
+TEST(AckedDatagram, ValidationMatchesDatagrams) {
+  MeshScenario s(cfg(8));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  MeshNode& n = s.node(0);
+  EXPECT_FALSE(n.send_acked(n.address(), {1}, nullptr));
+  EXPECT_FALSE(n.send_acked(kBroadcast, {1}, nullptr));
+  EXPECT_FALSE(n.send_acked(0x7777, {1}, nullptr));  // no route
+  EXPECT_FALSE(n.send_acked(s.address_of(1),
+                            std::vector<std::uint8_t>(kMaxDataPayload + 1),
+                            nullptr));
+}
+
+TEST(AckedDatagram, StopFailsOutstandingSends) {
+  MeshScenario s(cfg(9));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  s.channel().block_link(1, 2);
+  int outcome = -1;
+  s.node(0).send_acked(s.address_of(1), {1}, [&](bool ok) { outcome = ok ? 1 : 0; });
+  s.run_for(Duration::seconds(1));
+  s.node(0).stop();
+  EXPECT_EQ(outcome, 0);
+}
+
+}  // namespace
+}  // namespace lm::net

@@ -1,0 +1,102 @@
+#include "net/duty_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace lm::net {
+namespace {
+
+TimePoint at(int seconds) { return TimePoint::origin() + Duration::seconds(seconds); }
+
+TEST(DutyCycle, BudgetIsLimitTimesWindow) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  EXPECT_EQ(d.budget(), Duration::seconds(36));
+  EXPECT_TRUE(d.enforced());
+}
+
+TEST(DutyCycle, AllowsWithinBudget) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  EXPECT_TRUE(d.allowed(at(0), Duration::seconds(36)));
+  EXPECT_FALSE(d.allowed(at(0), Duration::seconds(37)));
+}
+
+TEST(DutyCycle, RecordsConsumeBudget) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  d.record(at(0), Duration::seconds(20));
+  EXPECT_EQ(d.consumed(at(10)), Duration::seconds(20));
+  EXPECT_TRUE(d.allowed(at(10), Duration::seconds(16)));
+  EXPECT_FALSE(d.allowed(at(10), Duration::seconds(17)));
+}
+
+TEST(DutyCycle, BudgetFreesWhenEmissionLeavesWindow) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  d.record(at(0), Duration::seconds(36));  // budget exhausted
+  EXPECT_FALSE(d.allowed(at(1800), Duration::seconds(1)));
+  // The emission leaves the window exactly one hour after its start.
+  EXPECT_TRUE(d.allowed(at(3600), Duration::seconds(36)));
+  EXPECT_EQ(d.consumed(at(3600)), Duration::zero());
+}
+
+TEST(DutyCycle, NextAllowedIsNowWhenWithinBudget) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  EXPECT_EQ(d.next_allowed(at(5), Duration::seconds(10)), at(5));
+}
+
+TEST(DutyCycle, NextAllowedWaitsForOldestExpiry) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  d.record(at(0), Duration::seconds(30));
+  d.record(at(100), Duration::seconds(6));  // budget now full
+  // Requesting 5 s: the t=0 emission must leave the window first.
+  EXPECT_EQ(d.next_allowed(at(200), Duration::seconds(5)), at(3600));
+  // Requesting 36 s: both must leave.
+  EXPECT_EQ(d.next_allowed(at(200), Duration::seconds(36)), at(3700));
+}
+
+TEST(DutyCycle, NextAllowedRejectsRequestOverTotalBudget) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  EXPECT_THROW(d.next_allowed(at(0), Duration::seconds(37)), ContractViolation);
+}
+
+TEST(DutyCycle, UtilizationTracksConsumption) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  EXPECT_DOUBLE_EQ(d.utilization(at(0)), 0.0);
+  d.record(at(0), Duration::seconds(18));
+  EXPECT_NEAR(d.utilization(at(10)), 0.005, 1e-9);
+}
+
+TEST(DutyCycle, DisabledLimiterAllowsEverything) {
+  DutyCycleLimiter d(1.0, Duration::hours(1));
+  EXPECT_FALSE(d.enforced());
+  EXPECT_TRUE(d.allowed(at(0), Duration::hours(2)));
+  EXPECT_EQ(d.next_allowed(at(7), Duration::hours(2)), at(7));
+  d.record(at(0), Duration::hours(2));  // not even tracked
+  EXPECT_TRUE(d.allowed(at(1), Duration::hours(2)));
+}
+
+TEST(DutyCycle, RejectsOutOfOrderRecords) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  d.record(at(100), Duration::seconds(1));
+  EXPECT_THROW(d.record(at(50), Duration::seconds(1)), ContractViolation);
+}
+
+TEST(DutyCycle, RejectsInvalidConstruction) {
+  EXPECT_THROW(DutyCycleLimiter(0.0, Duration::hours(1)), ContractViolation);
+  EXPECT_THROW(DutyCycleLimiter(0.01, Duration::zero()), ContractViolation);
+}
+
+TEST(DutyCycle, ManySmallEmissionsAccumulate) {
+  DutyCycleLimiter d(0.01, Duration::hours(1));
+  // 100 frames of 360 ms each = exactly the 36 s budget.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(d.allowed(at(i), Duration::milliseconds(360))) << i;
+    d.record(at(i), Duration::milliseconds(360));
+  }
+  EXPECT_FALSE(d.allowed(at(100), Duration::milliseconds(1)));
+  // One hour after the first frame, exactly one frame's budget is back.
+  EXPECT_TRUE(d.allowed(at(3600), Duration::milliseconds(360)));
+  EXPECT_FALSE(d.allowed(at(3600), Duration::milliseconds(721)));
+}
+
+}  // namespace
+}  // namespace lm::net

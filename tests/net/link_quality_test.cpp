@@ -1,0 +1,117 @@
+// Link-quality gating: with require_link_quality on, marginal neighbors
+// (low smoothed SNR margin) never become next hops, so the mesh prefers a
+// solid 2-hop path over a flaky 1-hop shortcut.
+//
+// Geometry: A and B sit 580 m apart — decodable on average but right at
+// the sensitivity cliff, so per-packet fading loses ~half the frames.
+// C sits between them with strong links to both.
+//
+//        C (290, 250)         A-C, C-B: ~11 dB margin (solid)
+//   A (0,0)    B (580,0)      A-B:      ~1.9 dB margin (marginal)
+#include "net/mesh_node.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/path_loss.h"
+#include "testbed/scenario.h"
+
+namespace lm::net {
+namespace {
+
+using testbed::MeshScenario;
+using testbed::ScenarioConfig;
+
+ScenarioConfig triangle_config(bool gating, std::uint64_t seed = 4) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 2.0;  // the cliff does the damage
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.maintenance_interval = Duration::seconds(2);
+  c.mesh.duty_cycle_limit = 1.0;
+  c.mesh.require_link_quality = gating;
+  c.mesh.min_snr_margin_db = 6.0;  // survivor bias inflates measured margins
+  return c;
+}
+
+void build_triangle(MeshScenario& s) {
+  s.add_node({0.0, 0.0});      // A
+  s.add_node({580.0, 0.0});    // B
+  s.add_node({290.0, 250.0});  // C
+}
+
+double run_pdr(bool gating, std::uint64_t seed, std::uint8_t* route_metric) {
+  MeshScenario s(triangle_config(gating, seed));
+  build_triangle(s);
+  s.start_all();
+  s.run_for(Duration::minutes(5));
+
+  int delivered = 0;
+  s.node(1).set_datagram_handler(
+      [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+        ++delivered;
+      });
+  int sent = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s.node(0).send_datagram(s.address_of(1), {1, 2, 3, 4})) ++sent;
+    s.run_for(Duration::seconds(10));
+  }
+  const auto route = s.node(0).routing_table().route_to(s.address_of(1));
+  if (route_metric != nullptr) {
+    *route_metric = route ? route->metric : 0;
+  }
+  return sent > 0 ? static_cast<double>(delivered) / sent : 0.0;
+}
+
+TEST(LinkQuality, MarginTrackingFollowsPhysics) {
+  MeshScenario s(triangle_config(false));
+  build_triangle(s);
+  s.start_all();
+  s.run_for(Duration::minutes(5));
+
+  const auto to_c = s.node(0).neighbor_snr_margin_db(s.address_of(2));
+  ASSERT_TRUE(to_c.has_value());
+  EXPECT_GT(*to_c, 7.0);  // strong link, ~8 dB true margin
+  const auto to_b = s.node(0).neighbor_snr_margin_db(s.address_of(1));
+  if (to_b) {
+    EXPECT_LT(*to_b, 6.0);  // marginal even with survivor bias
+  }
+  EXPECT_FALSE(
+      s.node(0).neighbor_snr_margin_db(0x7777).has_value());  // never heard
+}
+
+TEST(LinkQuality, WithoutGatingHopCountPicksTheFlakyShortcut) {
+  std::uint8_t metric = 0;
+  const double pdr = run_pdr(false, 4, &metric);
+  EXPECT_EQ(metric, 1);     // direct marginal link chosen
+  EXPECT_LT(pdr, 0.90);     // and it drops a chunk of the traffic
+  EXPECT_GT(pdr, 0.20);     // but the link is not dead (it is a trap)
+}
+
+TEST(LinkQuality, GatingRoutesAroundTheMarginalLink) {
+  std::uint8_t metric = 0;
+  const double pdr = run_pdr(true, 4, &metric);
+  EXPECT_EQ(metric, 2);     // via C
+  EXPECT_GT(pdr, 0.95);
+}
+
+TEST(LinkQuality, GatingCountsIgnoredBeacons) {
+  MeshScenario s(triangle_config(true));
+  build_triangle(s);
+  s.start_all();
+  s.run_for(Duration::minutes(10));
+  // A keeps hearing (some of) B's beacons but refuses them.
+  EXPECT_GT(s.node(0).stats().beacons_ignored_low_quality, 0u);
+  // The strong links still converged normally.
+  EXPECT_TRUE(s.node(0).routing_table().has_route(s.address_of(2)));
+  EXPECT_TRUE(s.node(2).routing_table().has_route(s.address_of(1)));
+}
+
+TEST(LinkQuality, DisabledByDefault) {
+  MeshConfig def;
+  EXPECT_FALSE(def.require_link_quality);
+}
+
+}  // namespace
+}  // namespace lm::net

@@ -1,0 +1,299 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+#include "support/byte_codec.h"
+
+namespace lm::net {
+namespace {
+
+RouteHeader route(Address dst, Address origin) {
+  RouteHeader r;
+  r.final_dst = dst;
+  r.origin = origin;
+  r.ttl = 16;
+  r.hops = 2;
+  r.packet_id = 777;
+  return r;
+}
+
+template <typename T>
+T round_trip(const T& packet) {
+  const auto frame = encode(Packet{packet});
+  EXPECT_EQ(frame.size(), encoded_size(Packet{packet}));
+  auto decoded = decode(frame);
+  EXPECT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<T>(*decoded));
+  return std::get<T>(*decoded);
+}
+
+TEST(PacketCodec, RoutingRoundTrip) {
+  RoutingPacket p;
+  p.link = LinkHeader{kBroadcast, 0x0001, PacketType::Routing};
+  p.entries = {{0x0002, 1}, {0x0003, 2}, {0x0010, 5}};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, EmptyRoutingTableIsValid) {
+  RoutingPacket p;
+  p.link = LinkHeader{kBroadcast, 0x0001, PacketType::Routing};
+  EXPECT_EQ(round_trip(p), p);
+  EXPECT_EQ(encoded_size(Packet{p}), kLinkHeaderSize + 1);
+}
+
+TEST(PacketCodec, DataRoundTrip) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  p.payload = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, EmptyDataPayloadRoundTrips) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, MaxSizeDataFitsIn255) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  p.payload.assign(kMaxDataPayload, 0xEE);
+  const auto frame = encode(Packet{p});
+  EXPECT_EQ(frame.size(), 255u);
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, OversizedDataRejected) {
+  DataPacket p;
+  p.payload.assign(kMaxDataPayload + 1, 0);
+  EXPECT_THROW(encode(Packet{p}), ContractViolation);
+}
+
+TEST(PacketCodec, SyncRoundTrip) {
+  SyncPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Sync};
+  p.route = route(0x0005, 0x0001);
+  p.seq = 42;
+  p.fragment_count = 69;
+  p.total_bytes = 16384;
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, SyncAckDonePollRoundTrip) {
+  SyncAckPacket a;
+  a.link = LinkHeader{0x0001, 0x0005, PacketType::SyncAck};
+  a.route = route(0x0001, 0x0005);
+  a.seq = 42;
+  EXPECT_EQ(round_trip(a), a);
+
+  DonePacket d;
+  d.link = LinkHeader{0x0001, 0x0005, PacketType::Done};
+  d.route = route(0x0001, 0x0005);
+  d.seq = 42;
+  EXPECT_EQ(round_trip(d), d);
+
+  PollPacket q;
+  q.link = LinkHeader{0x0005, 0x0001, PacketType::Poll};
+  q.route = route(0x0005, 0x0001);
+  q.seq = 42;
+  EXPECT_EQ(round_trip(q), q);
+}
+
+TEST(PacketCodec, FragmentRoundTrip) {
+  FragmentPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Fragment};
+  p.route = route(0x0005, 0x0001);
+  p.seq = 3;
+  p.index = 1234;
+  p.payload.assign(kMaxFragmentPayload, 0x5A);
+  const auto frame = encode(Packet{p});
+  EXPECT_EQ(frame.size(), 255u);
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, AckedDataRoundTrip) {
+  AckedDataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::AckedData};
+  p.route = route(0x0005, 0x0001);
+  p.payload = {9, 8, 7};
+  EXPECT_EQ(round_trip(p), p);
+  // Same MTU as plain datagrams.
+  p.payload.assign(kMaxDataPayload, 0x11);
+  EXPECT_EQ(encode(Packet{p}).size(), 255u);
+  p.payload.push_back(0);
+  EXPECT_THROW(encode(Packet{p}), ContractViolation);
+}
+
+TEST(PacketCodec, AckRoundTrip) {
+  AckPacket p;
+  p.link = LinkHeader{0x0001, 0x0005, PacketType::Ack};
+  p.route = route(0x0001, 0x0005);
+  p.acked_id = 0xBEEF;
+  EXPECT_EQ(round_trip(p), p);
+  auto frame = encode(Packet{p});
+  frame.push_back(0x00);  // trailing garbage on a fixed-size packet
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(PacketCodec, LostRoundTrip) {
+  LostPacket p;
+  p.link = LinkHeader{0x0001, 0x0005, PacketType::Lost};
+  p.route = route(0x0001, 0x0005);
+  p.seq = 3;
+  for (std::uint16_t i = 0; i < kMaxLostIndices; ++i) {
+    p.missing.push_back(static_cast<std::uint16_t>(i * 3));
+  }
+  const auto frame = encode(Packet{p});
+  EXPECT_LE(frame.size(), 255u);
+  EXPECT_EQ(round_trip(p), p);
+}
+
+TEST(PacketCodec, LostOverCapacityRejected) {
+  LostPacket p;
+  p.missing.assign(kMaxLostIndices + 1, 0);
+  EXPECT_THROW(encode(Packet{p}), ContractViolation);
+}
+
+TEST(PacketCodec, RoutingOverCapacityRejected) {
+  RoutingPacket p;
+  p.entries.assign(kMaxRoutingEntries + 1, RoutingEntry{});
+  EXPECT_THROW(encode(Packet{p}), ContractViolation);
+}
+
+TEST(PacketCodec, DecodeRejectsTruncatedFrames) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  p.payload = {1, 2, 3};
+  const auto frame = encode(Packet{p});
+  // Every prefix strictly inside the headers must fail cleanly.
+  for (std::size_t len = 0; len < kLinkHeaderSize + kRouteHeaderSize; ++len) {
+    const std::vector<std::uint8_t> truncated(frame.begin(),
+                                              frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(decode(truncated).has_value()) << "length " << len;
+  }
+}
+
+TEST(PacketCodec, DecodeRejectsUnknownType) {
+  std::vector<std::uint8_t> frame{0xFF, 0xFF, 0x01, 0x00, 0x99};
+  EXPECT_FALSE(decode(frame).has_value());
+  frame[4] = 0x00;
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(PacketCodec, DecodeRejectsTrailingGarbageOnFixedSizePackets) {
+  SyncAckPacket a;
+  a.link = LinkHeader{0x0001, 0x0005, PacketType::SyncAck};
+  a.route = route(0x0001, 0x0005);
+  a.seq = 1;
+  auto frame = encode(Packet{a});
+  frame.push_back(0xAB);
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(PacketCodec, DecodeRejectsTruncatedRoutingEntries) {
+  RoutingPacket p;
+  p.link = LinkHeader{kBroadcast, 0x0001, PacketType::Routing};
+  p.entries = {{0x0002, 1}, {0x0003, 2}};
+  auto frame = encode(Packet{p});
+  frame.pop_back();  // half an entry
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(PacketCodec, LinkAndRouteAccessors) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  Packet packet{p};
+  EXPECT_EQ(link_of(packet).dst, 0x0002);
+  ASSERT_NE(route_of(packet), nullptr);
+  EXPECT_EQ(route_of(packet)->final_dst, 0x0005);
+
+  RoutingPacket r;
+  Packet routing{r};
+  EXPECT_EQ(route_of(routing), nullptr);
+
+  // Mutable accessors actually mutate.
+  link_of(packet).dst = 0x0009;
+  EXPECT_EQ(std::get<DataPacket>(packet).link.dst, 0x0009);
+  route_of(packet)->ttl = 3;
+  EXPECT_EQ(std::get<DataPacket>(packet).route.ttl, 3);
+}
+
+TEST(PacketCodec, DescribeMentionsTypeAndAddresses) {
+  DataPacket p;
+  p.link = LinkHeader{0x0002, 0x0001, PacketType::Data};
+  p.route = route(0x0005, 0x0001);
+  const std::string s = describe(Packet{p});
+  EXPECT_NE(s.find("DATA"), std::string::npos);
+  EXPECT_NE(s.find("0x0005"), std::string::npos);
+}
+
+TEST(PacketCodec, AddressToString) {
+  EXPECT_EQ(to_string(Address{0x00A3}), "0x00A3");
+  EXPECT_EQ(to_string(kBroadcast), "BCAST");
+}
+
+// Golden frames: byte-exact expectations pin the wire format. If one of
+// these fails, the change breaks over-the-air compatibility — bump a
+// protocol version, don't silently reshape frames.
+TEST(PacketCodec, GoldenRoutingFrame) {
+  RoutingPacket p;
+  p.link = LinkHeader{kBroadcast, 0x0102, PacketType::Routing};
+  p.entries = {{0x0304, 2, roles::kGateway}};
+  EXPECT_EQ(to_hex(encode(Packet{p})),
+            "FF FF 02 01 01 01 04 03 02 01");
+}
+
+TEST(PacketCodec, GoldenDataFrame) {
+  DataPacket p;
+  p.link = LinkHeader{0x0A0B, 0x0102, PacketType::Data};
+  p.route = RouteHeader{0x0C0D, 0x0102, 16, 3, 0xBEEF};
+  p.payload = {0x11, 0x22};
+  EXPECT_EQ(to_hex(encode(Packet{p})),
+            "0B 0A 02 01 02 0D 0C 02 01 10 03 EF BE 11 22");
+}
+
+TEST(PacketCodec, GoldenSyncFrame) {
+  SyncPacket p;
+  p.link = LinkHeader{0x0A0B, 0x0102, PacketType::Sync};
+  p.route = RouteHeader{0x0C0D, 0x0102, 16, 0, 1};
+  p.seq = 7;
+  p.fragment_count = 0x0203;
+  p.total_bytes = 0x04050607;
+  EXPECT_EQ(to_hex(encode(Packet{p})),
+            "0B 0A 02 01 03 0D 0C 02 01 10 00 01 00 07 03 02 07 06 05 04");
+}
+
+TEST(PacketCodec, GoldenAckFrame) {
+  AckPacket p;
+  p.link = LinkHeader{0x0A0B, 0x0102, PacketType::Ack};
+  p.route = RouteHeader{0x0C0D, 0x0102, 16, 0, 1};
+  p.acked_id = 0x1234;
+  EXPECT_EQ(to_hex(encode(Packet{p})),
+            "0B 0A 02 01 0A 0D 0C 02 01 10 00 01 00 34 12");
+}
+
+TEST(PacketCodec, GoldenLostFrame) {
+  LostPacket p;
+  p.link = LinkHeader{0x0A0B, 0x0102, PacketType::Lost};
+  p.route = RouteHeader{0x0C0D, 0x0102, 16, 0, 1};
+  p.seq = 7;
+  p.missing = {0x0001, 0x0100};
+  EXPECT_EQ(to_hex(encode(Packet{p})),
+            "0B 0A 02 01 06 0D 0C 02 01 10 00 01 00 07 02 01 00 00 01");
+}
+
+TEST(PacketCodec, MtuConstantsAreConsistent) {
+  EXPECT_EQ(kMaxDataPayload, 242u);
+  EXPECT_EQ(kMaxFragmentPayload, 239u);
+  EXPECT_EQ(kMaxLostIndices, 120u);
+  EXPECT_EQ(kMaxRoutingEntries, 62u);
+}
+
+}  // namespace
+}  // namespace lm::net

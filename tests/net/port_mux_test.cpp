@@ -1,0 +1,131 @@
+#include "net/port_mux.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/path_loss.h"
+#include "support/assert.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+namespace lm::net {
+namespace {
+
+using testbed::MeshScenario;
+
+testbed::ScenarioConfig cfg() {
+  testbed::ScenarioConfig c;
+  c.seed = 8;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.duty_cycle_limit = 1.0;
+  return c;
+}
+
+class PortMuxTest : public ::testing::Test {
+ protected:
+  PortMuxTest() : scenario_(cfg()) {
+    scenario_.add_nodes(testbed::chain(2, 400.0));
+    scenario_.start_all();
+    scenario_.run_for(Duration::seconds(25));
+    tx_ = std::make_unique<PortMux>(scenario_.node(0));
+    rx_ = std::make_unique<PortMux>(scenario_.node(1));
+  }
+
+  MeshScenario scenario_;
+  std::unique_ptr<PortMux> tx_;
+  std::unique_ptr<PortMux> rx_;
+};
+
+TEST_F(PortMuxTest, RoutesPayloadsToTheRightService) {
+  std::vector<std::uint8_t> telemetry, commands;
+  rx_->open(1, [&](Address, const std::vector<std::uint8_t>& p, std::uint8_t) {
+    telemetry = p;
+  });
+  rx_->open(2, [&](Address, const std::vector<std::uint8_t>& p, std::uint8_t) {
+    commands = p;
+  });
+
+  ASSERT_TRUE(tx_->send(scenario_.address_of(1), 1, {0xAA, 0xBB}));
+  ASSERT_TRUE(tx_->send(scenario_.address_of(1), 2, {0xCC}));
+  scenario_.run_for(Duration::seconds(10));
+
+  EXPECT_EQ(telemetry, (std::vector<std::uint8_t>{0xAA, 0xBB}));
+  EXPECT_EQ(commands, (std::vector<std::uint8_t>{0xCC}));
+  EXPECT_EQ(rx_->delivered(1), 1u);
+  EXPECT_EQ(rx_->delivered(2), 1u);
+}
+
+TEST_F(PortMuxTest, UnknownPortCountedNotDelivered) {
+  int any = 0;
+  rx_->open(5, [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+    ++any;
+  });
+  tx_->send(scenario_.address_of(1), 9, {1});
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(any, 0);
+  EXPECT_EQ(rx_->dropped_unknown_port(), 1u);
+}
+
+TEST_F(PortMuxTest, CloseStopsDelivery) {
+  int got = 0;
+  rx_->open(3, [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+    ++got;
+  });
+  tx_->send(scenario_.address_of(1), 3, {1});
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(rx_->is_open(3));
+  rx_->close(3);
+  EXPECT_FALSE(rx_->is_open(3));
+  tx_->send(scenario_.address_of(1), 3, {1});
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(rx_->dropped_unknown_port(), 1u);
+}
+
+TEST_F(PortMuxTest, EmptyPayloadAllowedAndMtuEnforced) {
+  int got = -1;
+  rx_->open(7, [&](Address, const std::vector<std::uint8_t>& p, std::uint8_t) {
+    got = static_cast<int>(p.size());
+  });
+  ASSERT_TRUE(tx_->send(scenario_.address_of(1), 7, {}));  // port byte only
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(got, 0);
+
+  EXPECT_TRUE(tx_->send(scenario_.address_of(1), 7,
+                        std::vector<std::uint8_t>(kMaxPortPayload, 1)));
+  EXPECT_FALSE(tx_->send(scenario_.address_of(1), 7,
+                         std::vector<std::uint8_t>(kMaxPortPayload + 1, 1)));
+}
+
+TEST_F(PortMuxTest, OriginAndHopsPassThrough) {
+  Address origin = kUnassigned;
+  std::uint8_t hops = 0;
+  rx_->open(1, [&](Address o, const std::vector<std::uint8_t>&, std::uint8_t h) {
+    origin = o;
+    hops = h;
+  });
+  tx_->send(scenario_.address_of(1), 1, {1});
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(origin, scenario_.address_of(0));
+  EXPECT_EQ(hops, 1);
+}
+
+TEST_F(PortMuxTest, RawSendersWithoutPortByteAreCountedEmptyOrMisrouted) {
+  // A non-mux datagram lands on whatever port its first byte names; an
+  // empty datagram is counted separately. This documents the interop rule:
+  // all peers of a muxed node should speak the port convention.
+  rx_->open(1, [](Address, const std::vector<std::uint8_t>&, std::uint8_t) {});
+  scenario_.node(0).send_datagram(scenario_.address_of(1), {});
+  scenario_.run_for(Duration::seconds(10));
+  EXPECT_EQ(rx_->dropped_empty(), 1u);
+}
+
+TEST_F(PortMuxTest, RejectsNullHandler) {
+  EXPECT_THROW(rx_->open(1, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lm::net

@@ -1,0 +1,360 @@
+#include "net/routing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace lm::net {
+namespace {
+
+constexpr Address kSelf = 0x0001;
+constexpr Address kA = 0x000A;
+constexpr Address kB = 0x000B;
+constexpr Address kC = 0x000C;
+
+const Duration kTimeout = Duration::minutes(10);
+
+TimePoint at(int seconds) { return TimePoint::origin() + Duration::seconds(seconds); }
+
+TEST(RoutingTable, StartsEmpty) {
+  RoutingTable t(kSelf, kTimeout);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.has_route(kA));
+  EXPECT_FALSE(t.next_hop(kA).has_value());
+}
+
+TEST(RoutingTable, LearnsSenderAsDirectNeighbor) {
+  RoutingTable t(kSelf, kTimeout);
+  EXPECT_TRUE(t.apply_beacon(kA, {}, at(0)));
+  const auto r = t.route_to(kA);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->via, kA);
+  EXPECT_EQ(r->metric, 1);
+}
+
+TEST(RoutingTable, LearnsAdvertisedRoutesPlusOneHop) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kB, 1}, {kC, 3}}, at(0));
+  ASSERT_TRUE(t.route_to(kB).has_value());
+  EXPECT_EQ(t.route_to(kB)->metric, 2);
+  EXPECT_EQ(t.route_to(kB)->via, kA);
+  EXPECT_EQ(t.route_to(kC)->metric, 4);
+}
+
+TEST(RoutingTable, IgnoresAdvertisementsOfSelf) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kSelf, 1}}, at(0));
+  EXPECT_EQ(t.size(), 1u);  // only the neighbor itself
+  EXPECT_FALSE(t.has_route(kSelf));
+}
+
+TEST(RoutingTable, IgnoresReservedAddresses) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kBroadcast, 1}, {kUnassigned, 1}}, at(0));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RoutingTable, AdoptsStrictlyBetterRoute) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 4}}, at(0));  // C at 5 via A
+  EXPECT_EQ(t.route_to(kC)->metric, 5);
+  EXPECT_TRUE(t.apply_beacon(kB, {{kC, 1}}, at(1)));  // C at 2 via B: better
+  EXPECT_EQ(t.route_to(kC)->metric, 2);
+  EXPECT_EQ(t.route_to(kC)->via, kB);
+}
+
+TEST(RoutingTable, KeepsCurrentRouteOnEqualMetric) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 2}}, at(0));
+  t.apply_beacon(kB, {{kC, 2}}, at(1));  // same metric via B: no churn
+  EXPECT_EQ(t.route_to(kC)->via, kA);
+}
+
+TEST(RoutingTable, FollowsNextHopWhenItsMetricWorsens) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 1}}, at(0));
+  EXPECT_EQ(t.route_to(kC)->metric, 2);
+  // A now reports C further away; we must follow (bad news sticks).
+  EXPECT_TRUE(t.apply_beacon(kA, {{kC, 5}}, at(1)));
+  EXPECT_EQ(t.route_to(kC)->metric, 6);
+}
+
+TEST(RoutingTable, WithdrawsRouteWhenNextHopSaturates) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 2}}, at(0));
+  EXPECT_TRUE(t.has_route(kC));
+  EXPECT_TRUE(t.apply_beacon(kA, {{kC, kInfiniteMetric}}, at(1)));
+  EXPECT_FALSE(t.has_route(kC));
+}
+
+TEST(RoutingTable, NeverInstallsSaturatedRoute) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, kInfiniteMetric - 1}}, at(0));
+  // candidate = infinity: unreachable, not stored.
+  EXPECT_FALSE(t.has_route(kC));
+}
+
+TEST(RoutingTable, IgnoresWorseRouteFromOtherNeighbor) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 1}}, at(0));
+  EXPECT_FALSE(t.apply_beacon(kB, {{kC, 7}}, at(1)) &&
+               t.route_to(kC)->via == kB);
+  EXPECT_EQ(t.route_to(kC)->metric, 2);
+  EXPECT_EQ(t.route_to(kC)->via, kA);
+}
+
+TEST(RoutingTable, DirectNeighborBeatsLongerPath) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kB, 1}}, at(0));  // B at 2 via A
+  t.apply_beacon(kB, {}, at(1));         // B heard directly
+  EXPECT_EQ(t.route_to(kB)->metric, 1);
+  EXPECT_EQ(t.route_to(kB)->via, kB);
+}
+
+TEST(RoutingTable, ExpiryRemovesSilentRoutes) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 1}}, at(0));
+  EXPECT_EQ(t.expire(at(0) + kTimeout - Duration::seconds(1)), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.expire(at(0) + kTimeout), 2u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RoutingTable, RefreshPostponesExpiry) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 1}}, at(0));
+  t.apply_beacon(kA, {{kC, 1}}, at(300));  // refresh at +5 min
+  EXPECT_EQ(t.expire(at(0) + kTimeout), 0u);
+  EXPECT_TRUE(t.has_route(kC));
+  EXPECT_EQ(t.expire(at(300) + kTimeout), 2u);
+}
+
+TEST(RoutingTable, OtherNeighborsAdvertisementDoesNotRefresh) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 1}}, at(0));   // C via A
+  t.apply_beacon(kB, {{kC, 5}}, at(500)); // worse; must not refresh C's timer
+  t.expire(at(0) + kTimeout);
+  EXPECT_FALSE(t.has_route(kC));
+  EXPECT_TRUE(t.has_route(kB));  // B itself was refreshed at t=500
+}
+
+TEST(RoutingTable, SilentNeighborTakesItsRoutesWithIt) {
+  // Every beacon from A refreshes both A's entry and the routes via A, so
+  // when A goes silent they all lapse together: next_hop() can never return
+  // a neighbor that is no longer in the table.
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {}, at(0));
+  t.apply_beacon(kA, {{kC, 1}}, at(100));
+  const std::size_t removed = t.expire(at(100) + kTimeout);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_FALSE(t.has_route(kC));
+  EXPECT_FALSE(t.has_route(kA));
+}
+
+TEST(RoutingTable, AdvertisementListsDestinationAndMetricSorted) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kB, {{kC, 1}}, at(0));
+  t.apply_beacon(kA, {}, at(0));
+  const auto adv = t.advertisement();
+  ASSERT_EQ(adv.size(), 4u);
+  EXPECT_EQ(adv[0].address, kSelf);  // metric-0 self entry carries the role
+  EXPECT_EQ(adv[0].metric, 0);
+  EXPECT_EQ(adv[1].address, kA);
+  EXPECT_EQ(adv[2].address, kB);
+  EXPECT_EQ(adv[3].address, kC);
+  EXPECT_EQ(adv[3].metric, 2);
+}
+
+TEST(RoutingTable, AdvertisementTruncatesKeepingNearestRoutes) {
+  RoutingTable t(kSelf, kTimeout);
+  // One direct neighbor plus kMaxRoutingEntries far routes.
+  std::vector<RoutingEntry> far;
+  for (std::uint16_t i = 0; i < kMaxRoutingEntries; ++i) {
+    far.push_back({static_cast<Address>(0x1000 + i), 10});
+  }
+  t.apply_beacon(kA, far, at(0));
+  EXPECT_EQ(t.size(), kMaxRoutingEntries + 1);
+  const auto adv = t.advertisement();
+  EXPECT_EQ(adv.size(), kMaxRoutingEntries);
+  // The 1-hop neighbor survived truncation.
+  bool has_neighbor = false;
+  for (const auto& e : adv) {
+    if (e.address == kA) has_neighbor = (e.metric == 1);
+  }
+  EXPECT_TRUE(has_neighbor);
+}
+
+TEST(RoutingTable, OwnBeaconEchoIgnored) {
+  RoutingTable t(kSelf, kTimeout);
+  EXPECT_FALSE(t.apply_beacon(kSelf, {{kA, 1}}, at(0)));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RoutingTable, MetricSaturatesAtMax) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, kInfiniteMetric - 2}}, at(0));
+  ASSERT_TRUE(t.has_route(kC));
+  EXPECT_EQ(t.route_to(kC)->metric, kInfiniteMetric - 1);
+  // One more hop would saturate: route_to treats it as unreachable.
+  t.apply_beacon(kA, {{kC, kInfiniteMetric - 1}}, at(1));
+  EXPECT_FALSE(t.has_route(kC));
+}
+
+TEST(RoutingTable, RejectsInvalidConstruction) {
+  EXPECT_THROW(RoutingTable(kUnassigned, kTimeout), ContractViolation);
+  EXPECT_THROW(RoutingTable(kBroadcast, kTimeout), ContractViolation);
+  EXPECT_THROW(RoutingTable(kSelf, Duration::zero()), ContractViolation);
+}
+
+TEST(RoutingTable, RejectsZeroMetricClaimsForThirdParties) {
+  // Only the sender's own self entry may carry metric 0; believing
+  // (C, metric 0) from A would create a bogus 1-hop route to C via A.
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kC, 0}}, at(0));
+  EXPECT_FALSE(t.has_route(kC));
+  EXPECT_TRUE(t.has_route(kA));
+}
+
+TEST(RoutingTable, RolesPropagateFromAdvertisements) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kA, 0, roles::kGateway}, {kC, 1, roles::kSink}}, at(0));
+  EXPECT_EQ(t.route_to(kA)->role, roles::kGateway);
+  EXPECT_EQ(t.route_to(kC)->role, roles::kSink);
+}
+
+TEST(RoutingTable, RoleChangeIsAnUpdate) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kA, 0, roles::kNone}}, at(0));
+  EXPECT_TRUE(t.apply_beacon(kA, {{kA, 0, roles::kGateway}}, at(1)));
+  EXPECT_EQ(t.route_to(kA)->role, roles::kGateway);
+  EXPECT_FALSE(t.apply_beacon(kA, {{kA, 0, roles::kGateway}}, at(2)));
+}
+
+TEST(RoutingTable, NearestWithRolePicksLowestMetric) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kA, 0, roles::kGateway}, {kC, 3, roles::kGateway}}, at(0));
+  const auto gw = t.nearest_with_role(roles::kGateway);
+  ASSERT_TRUE(gw.has_value());
+  EXPECT_EQ(gw->destination, kA);
+  EXPECT_EQ(gw->metric, 1);
+  EXPECT_EQ(t.routes_with_role(roles::kGateway).size(), 2u);
+}
+
+TEST(RoutingTable, NearestWithRoleRequiresAllBits) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kA, 0, roles::kGateway}}, at(0));
+  t.apply_beacon(kB,
+                 {{kB, 0, static_cast<Role>(roles::kGateway | roles::kSink)}},
+                 at(0));
+  const auto both = t.nearest_with_role(
+      static_cast<Role>(roles::kGateway | roles::kSink));
+  ASSERT_TRUE(both.has_value());
+  EXPECT_EQ(both->destination, kB);
+  EXPECT_FALSE(t.nearest_with_role(roles::kRelayOnly).has_value());
+}
+
+TEST(RoutingTable, NearestWithRoleTieBreaksByAddress) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kB, {{kB, 0, roles::kGateway}}, at(0));
+  t.apply_beacon(kA, {{kA, 0, roles::kGateway}}, at(0));
+  EXPECT_EQ(t.nearest_with_role(roles::kGateway)->destination, kA);
+}
+
+TEST(RoutingTable, OwnRoleAppearsInAdvertisement) {
+  RoutingTable t(kSelf, kTimeout, kInfiniteMetric, roles::kSink);
+  const auto adv = t.advertisement();
+  ASSERT_EQ(adv.size(), 1u);
+  EXPECT_EQ(adv[0].address, kSelf);
+  EXPECT_EQ(adv[0].metric, 0);
+  EXPECT_EQ(adv[0].role, roles::kSink);
+  EXPECT_EQ(t.own_role(), roles::kSink);
+}
+
+TEST(RoutingTable, RoleToStringRendersBits) {
+  EXPECT_EQ(role_to_string(roles::kNone), "-");
+  EXPECT_EQ(role_to_string(roles::kGateway), "gateway");
+  EXPECT_EQ(role_to_string(static_cast<Role>(roles::kGateway | roles::kSink)),
+            "gateway|sink");
+}
+
+TEST(RoutingTable, ToStringListsEntries) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kB, 1}}, at(0));
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("0x000A"), std::string::npos);
+  EXPECT_NE(s.find("0x000B"), std::string::npos);
+  EXPECT_NE(s.find("metric=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lm::net
+
+namespace lm::net {
+namespace {
+
+TEST(RoutingTableSnapshot, RoundTripsAcrossAReboot) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {{kA, 0, roles::kGateway}, {kC, 2}}, at(0));
+  t.apply_beacon(kB, {}, at(100));
+  const auto snapshot = t.serialize(at(200));
+
+  RoutingTable rebooted(kSelf, kTimeout);
+  ASSERT_TRUE(rebooted.restore(snapshot, at(1000), Duration::seconds(30)));
+  ASSERT_EQ(rebooted.size(), 3u);
+  EXPECT_EQ(rebooted.route_to(kA)->role, roles::kGateway);
+  EXPECT_EQ(rebooted.route_to(kC)->metric, 3);
+  EXPECT_EQ(rebooted.route_to(kC)->via, kA);
+  // Lifetimes were re-based: kA/kC had 400 s left at snapshot time, minus
+  // 30 s of downtime — they lapse exactly at t=1370 s; kB (refreshed later)
+  // survives until t=1470 s.
+  EXPECT_EQ(rebooted.expire(at(1369)), 0u);
+  EXPECT_EQ(rebooted.expire(at(1370)), 2u);
+  EXPECT_TRUE(rebooted.has_route(kB));
+  EXPECT_EQ(rebooted.expire(at(1470)), 1u);
+}
+
+TEST(RoutingTableSnapshot, LapsedEntriesAreSkipped) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {}, at(0));
+  const auto snapshot = t.serialize(at(0));
+  RoutingTable rebooted(kSelf, kTimeout);
+  // Down longer than the hold time: nothing survives (correct — the mesh
+  // has moved on), but the restore itself succeeds.
+  ASSERT_TRUE(rebooted.restore(snapshot, at(5000), kTimeout * 2));
+  EXPECT_EQ(rebooted.size(), 0u);
+}
+
+TEST(RoutingTableSnapshot, RejectsForeignAndCorruptSnapshots) {
+  RoutingTable t(kSelf, kTimeout);
+  t.apply_beacon(kA, {}, at(0));
+  auto snapshot = t.serialize(at(0));
+
+  RoutingTable other(0x0099, kTimeout);
+  EXPECT_FALSE(other.restore(snapshot, at(1)));  // different owner
+
+  RoutingTable truncated_target(kSelf, kTimeout);
+  auto truncated = snapshot;
+  truncated.pop_back();
+  EXPECT_FALSE(truncated_target.restore(truncated, at(1)));
+  EXPECT_EQ(truncated_target.size(), 0u);
+
+  auto corrupt = snapshot;
+  corrupt[0] = 0x7F;  // wrong version
+  EXPECT_FALSE(truncated_target.restore(corrupt, at(1)));
+
+  // Metric byte corrupted to 0: refused wholesale.
+  auto zero_metric = snapshot;
+  zero_metric[9] = 0;  // metric field of the first entry
+  EXPECT_FALSE(truncated_target.restore(zero_metric, at(1)));
+}
+
+TEST(RoutingTableSnapshot, EmptyTableSnapshotsFine) {
+  RoutingTable t(kSelf, kTimeout);
+  const auto snapshot = t.serialize(at(0));
+  RoutingTable rebooted(kSelf, kTimeout);
+  EXPECT_TRUE(rebooted.restore(snapshot, at(1)));
+  EXPECT_EQ(rebooted.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lm::net

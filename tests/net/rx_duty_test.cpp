@@ -1,0 +1,95 @@
+// Duty-cycled listening (the paper's future-work lever, naive version):
+// sleeping the receiver saves energy proportionally and loses every frame
+// that lands in a sleep window — the trade E10 quantifies.
+#include <gtest/gtest.h>
+
+#include "net/mesh_node.h"
+#include "phy/path_loss.h"
+#include "radio/energy.h"
+#include "support/assert.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+namespace lm::net {
+namespace {
+
+using testbed::MeshScenario;
+
+testbed::ScenarioConfig cfg(double rx_duty, std::uint64_t seed = 4) {
+  testbed::ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(15);
+  c.mesh.duty_cycle_limit = 1.0;
+  c.mesh.rx_duty = rx_duty;
+  c.mesh.rx_cycle_period = Duration::seconds(10);
+  return c;
+}
+
+TEST(RxDuty, SleepingReceiverLosesProportionally) {
+  MeshScenario s(cfg(0.3));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::minutes(5));  // discovery despite sleepy windows
+  ASSERT_TRUE(s.node(0).routing_table().has_route(s.address_of(1)));
+
+  int delivered = 0;
+  s.node(1).set_datagram_handler(
+      [&](Address, const std::vector<std::uint8_t>&, std::uint8_t) {
+        ++delivered;
+      });
+  int sent = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (s.node(0).send_datagram(s.address_of(1), {1})) ++sent;
+    s.run_for(Duration::from_seconds(7.3));  // decorrelate from the cycle
+  }
+  ASSERT_GT(sent, 150);
+  const double pdr = static_cast<double>(delivered) / sent;
+  // ~30 % listening -> ~30 % delivery (frames are short vs the windows).
+  EXPECT_GT(pdr, 0.18);
+  EXPECT_LT(pdr, 0.45);
+}
+
+TEST(RxDuty, EnergyDropsWithTheListenFraction) {
+  MeshScenario always(cfg(1.0));
+  always.add_node({0, 0});
+  always.start_all();
+  always.run_for(Duration::hours(6));
+  const double always_ma = radio::average_current_ma(always.radio(0));
+
+  MeshScenario sleepy(cfg(0.2));
+  sleepy.add_node({0, 0});
+  sleepy.start_all();
+  sleepy.run_for(Duration::hours(6));
+  const double sleepy_ma = radio::average_current_ma(sleepy.radio(0));
+
+  // RX dominates, so average current scales roughly with the listen
+  // fraction (beacon TX adds a little on top).
+  EXPECT_LT(sleepy_ma, 0.35 * always_ma);
+  EXPECT_GT(sleepy_ma, 0.1 * always_ma);
+}
+
+TEST(RxDuty, NodeStillTransmitsWhileSleepy) {
+  // A sleeping receiver must not block the node's own transmissions: it
+  // wakes to standby, runs CSMA, transmits, and goes back to the schedule.
+  MeshScenario s(cfg(0.2, 9));
+  s.add_nodes(testbed::chain(2, 400.0));
+  s.start_all();
+  s.run_for(Duration::minutes(10));
+  EXPECT_GE(s.node(0).stats().beacons_sent, 30u);  // ~40 expected at 15 s
+  EXPECT_GE(s.node(1).stats().beacons_sent, 30u);
+}
+
+TEST(RxDuty, ValidationAndDefault) {
+  MeshConfig def;
+  EXPECT_DOUBLE_EQ(def.rx_duty, 1.0);
+  auto c = cfg(0.5);
+  c.mesh.rx_duty = 0.0;
+  MeshScenario s(c);
+  EXPECT_THROW(s.add_node({0, 0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lm::net

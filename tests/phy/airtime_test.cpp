@@ -1,0 +1,146 @@
+#include "phy/airtime.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/lora_params.h"
+#include "support/assert.h"
+
+namespace lm::phy {
+namespace {
+
+Modulation mod(SpreadingFactor sf, Bandwidth bw = Bandwidth::BW125,
+               CodingRate cr = CodingRate::CR4_5) {
+  Modulation m;
+  m.sf = sf;
+  m.bw = bw;
+  m.cr = cr;
+  return m;
+}
+
+TEST(Airtime, SymbolTimeMatchesDatasheet) {
+  EXPECT_EQ(mod(SpreadingFactor::SF7).symbol_time().us(), 1024);
+  EXPECT_EQ(mod(SpreadingFactor::SF12).symbol_time().us(), 32768);
+  EXPECT_EQ(mod(SpreadingFactor::SF7, Bandwidth::BW250).symbol_time().us(), 512);
+  EXPECT_EQ(mod(SpreadingFactor::SF7, Bandwidth::BW500).symbol_time().us(), 256);
+}
+
+// Anchor values computed with the Semtech AN1200.13 formula / airtime
+// calculator (preamble 8, explicit header, CRC on, CR 4/5).
+TEST(Airtime, SemtechReference10BytesSF7) {
+  EXPECT_EQ(time_on_air(mod(SpreadingFactor::SF7), 10).us(), 41216);
+}
+
+TEST(Airtime, SemtechReference51BytesSF7) {
+  EXPECT_EQ(time_on_air(mod(SpreadingFactor::SF7), 51).us(), 102656);
+}
+
+TEST(Airtime, SemtechReference51BytesSF12WithLdro) {
+  // 2465.792 ms — the classic "51 bytes at SF12 takes ~2.5 s" number.
+  EXPECT_EQ(time_on_air(mod(SpreadingFactor::SF12), 51).us(), 2465792);
+}
+
+TEST(Airtime, PreambleTimeIsProgrammedPlusSync) {
+  // 8 + 4.25 symbols at SF7/125 kHz = 12.544 ms.
+  EXPECT_EQ(preamble_time(mod(SpreadingFactor::SF7)).us(), 12544);
+}
+
+TEST(Airtime, LdroAppliesExactlyAtSf11Bw125AndUp) {
+  EXPECT_FALSE(mod(SpreadingFactor::SF10).low_data_rate_optimize());
+  EXPECT_TRUE(mod(SpreadingFactor::SF11).low_data_rate_optimize());
+  EXPECT_TRUE(mod(SpreadingFactor::SF12).low_data_rate_optimize());
+  // At 250 kHz the SF11 symbol is 8.192 ms — no LDRO.
+  EXPECT_FALSE(mod(SpreadingFactor::SF11, Bandwidth::BW250).low_data_rate_optimize());
+  EXPECT_TRUE(mod(SpreadingFactor::SF12, Bandwidth::BW250).low_data_rate_optimize());
+}
+
+TEST(Airtime, MonotonicInPayload) {
+  const Modulation m = mod(SpreadingFactor::SF9);
+  Duration last = Duration::zero();
+  for (std::size_t bytes = 0; bytes <= kMaxPhyPayload; bytes += 5) {
+    const Duration t = time_on_air(m, bytes);
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(Airtime, PayloadSymbolsQuantizedInCodewordBlocks) {
+  // Payload symbols only grow in steps of (CR + 4) symbols.
+  const Modulation m = mod(SpreadingFactor::SF7);
+  std::size_t prev = payload_symbols(m, 0);
+  for (std::size_t bytes = 1; bytes <= 100; ++bytes) {
+    const std::size_t cur = payload_symbols(m, bytes);
+    const std::size_t step = cur - prev;
+    EXPECT_TRUE(step == 0 || step == 5) << "payload " << bytes;
+    prev = cur;
+  }
+}
+
+TEST(Airtime, HigherCodingRateNeverFaster) {
+  for (std::size_t bytes : {10u, 100u, 255u}) {
+    const Duration cr5 = time_on_air(mod(SpreadingFactor::SF8, Bandwidth::BW125,
+                                         CodingRate::CR4_5), bytes);
+    const Duration cr8 = time_on_air(mod(SpreadingFactor::SF8, Bandwidth::BW125,
+                                         CodingRate::CR4_8), bytes);
+    EXPECT_GE(cr8, cr5);
+  }
+}
+
+TEST(Airtime, EachSfStepRoughlyDoublesAirtime) {
+  const std::size_t bytes = 51;
+  Duration prev = time_on_air(mod(SpreadingFactor::SF7), bytes);
+  for (SpreadingFactor sf : {SpreadingFactor::SF8, SpreadingFactor::SF9,
+                             SpreadingFactor::SF10, SpreadingFactor::SF11,
+                             SpreadingFactor::SF12}) {
+    const Duration cur = time_on_air(mod(sf), bytes);
+    const double ratio = cur / prev;
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.6);
+    prev = cur;
+  }
+}
+
+TEST(Airtime, WiderBandwidthScalesDown) {
+  const Duration bw125 = time_on_air(mod(SpreadingFactor::SF7, Bandwidth::BW125), 51);
+  const Duration bw250 = time_on_air(mod(SpreadingFactor::SF7, Bandwidth::BW250), 51);
+  const Duration bw500 = time_on_air(mod(SpreadingFactor::SF7, Bandwidth::BW500), 51);
+  EXPECT_EQ(bw125.us(), bw250.us() * 2);
+  EXPECT_EQ(bw250.us(), bw500.us() * 2);
+}
+
+TEST(Airtime, ImplicitHeaderSavesSymbols) {
+  Modulation explicit_hdr = mod(SpreadingFactor::SF7);
+  Modulation implicit_hdr = explicit_hdr;
+  implicit_hdr.explicit_header = false;
+  EXPECT_LE(time_on_air(implicit_hdr, 20), time_on_air(explicit_hdr, 20));
+}
+
+TEST(Airtime, CrcCostsSymbols) {
+  Modulation with_crc = mod(SpreadingFactor::SF7);
+  Modulation no_crc = with_crc;
+  no_crc.crc_on = false;
+  EXPECT_LE(time_on_air(no_crc, 20), time_on_air(with_crc, 20));
+}
+
+TEST(Airtime, RejectsOversizedPayload) {
+  EXPECT_THROW(time_on_air(mod(SpreadingFactor::SF7), kMaxPhyPayload + 1),
+               ContractViolation);
+}
+
+TEST(Airtime, CadTimeIsAboutOneAndAHalfSymbols) {
+  // ~1.9 ms at SF7/125 kHz per the SX1276 datasheet.
+  const Duration t = cad_time(mod(SpreadingFactor::SF7));
+  EXPECT_EQ(t.us(), 1536);
+}
+
+TEST(Airtime, MaxFrameStaysUnderHistoryHorizon) {
+  // The channel keeps 15 s of transmission history for overlap checks; the
+  // longest possible frame must fit comfortably.
+  const Duration longest = time_on_air(
+      mod(SpreadingFactor::SF12, Bandwidth::BW125, CodingRate::CR4_8), 255);
+  // 14.03 s — anything at or above the radio::Channel 15 s history horizon
+  // would let interference bookkeeping miss overlaps.
+  EXPECT_LT(longest, Duration::seconds(15));
+}
+
+}  // namespace
+}  // namespace lm::phy

@@ -1,0 +1,62 @@
+#include "phy/region.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/airtime.h"
+
+namespace lm::phy {
+namespace {
+
+TEST(Region, Eu868DefaultChannelsSitInG1) {
+  const RegionParams& eu = eu868();
+  for (double f : eu.default_channels_hz) {
+    const SubBand* band = sub_band_of(eu, f);
+    ASSERT_NE(band, nullptr) << f;
+    EXPECT_STREQ(band->name, "g1");
+    EXPECT_DOUBLE_EQ(band->duty_cycle_limit, 0.01);
+  }
+}
+
+TEST(Region, Eu868SubBandLimitsDiffer) {
+  const RegionParams& eu = eu868();
+  EXPECT_DOUBLE_EQ(duty_limit_at(eu, 868.1e6), 0.01);   // g1
+  EXPECT_DOUBLE_EQ(duty_limit_at(eu, 869.0e6), 0.001);  // g2: 0.1 %
+  EXPECT_DOUBLE_EQ(duty_limit_at(eu, 869.525e6), 0.10); // g3: 10 %, the
+                                                        // high-power slot
+  EXPECT_DOUBLE_EQ(duty_limit_at(eu, 700.0e6), 1.0);    // out of band
+  EXPECT_EQ(sub_band_of(eu, 700.0e6), nullptr);
+}
+
+TEST(Region, Eu868HasNoDwellRule) {
+  const Modulation slow{SpreadingFactor::SF12};
+  EXPECT_TRUE(dwell_time_ok(eu868(), time_on_air(slow, 255)));
+}
+
+TEST(Region, Us915DwellLimitsHighSpreadingFactors) {
+  const RegionParams& us = us915();
+  EXPECT_DOUBLE_EQ(duty_limit_at(us, 902.3e6), 1.0);  // no duty rule
+
+  // SF7 frames fit the 400 ms dwell; SF10+ frames of useful size do not —
+  // which is exactly why US915 LoRaWAN uplinks stop at SF10 with tiny
+  // payloads.
+  Modulation sf7{SpreadingFactor::SF7};
+  EXPECT_TRUE(dwell_time_ok(us, time_on_air(sf7, 242)));
+  Modulation sf10{SpreadingFactor::SF10};
+  EXPECT_FALSE(dwell_time_ok(us, time_on_air(sf10, 242)));
+  EXPECT_TRUE(dwell_time_ok(us, time_on_air(sf10, 11)));
+}
+
+TEST(Region, BandEdgesAreHalfOpen) {
+  const RegionParams& eu = eu868();
+  EXPECT_STREQ(sub_band_of(eu, 868.0e6)->name, "g1");  // low edge inclusive
+  EXPECT_EQ(sub_band_of(eu, 868.65e6), nullptr);       // gap between g1/g2
+}
+
+TEST(Region, PowerCeilings) {
+  EXPECT_DOUBLE_EQ(sub_band_of(eu868(), 868.1e6)->max_erp_dbm, 14.0);
+  EXPECT_DOUBLE_EQ(sub_band_of(eu868(), 869.5e6)->max_erp_dbm, 27.0);
+  EXPECT_DOUBLE_EQ(sub_band_of(us915(), 903.0e6)->max_erp_dbm, 30.0);
+}
+
+}  // namespace
+}  // namespace lm::phy

@@ -1,0 +1,184 @@
+// Property tests for the packet codec.
+//
+// Two core properties, swept over seeded random inputs:
+//  (1) decode() is total — arbitrary bytes never crash it; and when it does
+//      accept a frame, re-encoding reproduces the input byte-for-byte
+//      (the wire format is canonical: no hidden state, no aliasing).
+//  (2) encode()/decode() round-trips every representable packet.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "support/rng.h"
+
+namespace lm::net {
+namespace {
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len))));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+Address random_address(Rng& rng) {
+  return static_cast<Address>(rng.uniform_int(0, 0xFFFF));
+}
+
+RouteHeader random_route(Rng& rng) {
+  RouteHeader r;
+  r.final_dst = random_address(rng);
+  r.origin = random_address(rng);
+  r.ttl = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  r.hops = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  r.packet_id = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+  return r;
+}
+
+Packet random_packet(Rng& rng) {
+  const int kind = static_cast<int>(rng.uniform_int(0, 9));
+  switch (kind) {
+    case 0: {
+      RoutingPacket p;
+      p.link = {kBroadcast, random_address(rng), PacketType::Routing};
+      const auto n = rng.uniform_int(0, kMaxRoutingEntries);
+      for (std::int64_t i = 0; i < n; ++i) {
+        p.entries.push_back({random_address(rng),
+                             static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                             static_cast<Role>(rng.uniform_int(0, 255))});
+      }
+      return Packet{std::move(p)};
+    }
+    case 1: {
+      DataPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Data};
+      p.route = random_route(rng);
+      p.payload = random_bytes(rng, kMaxDataPayload);
+      return Packet{std::move(p)};
+    }
+    case 2: {
+      SyncPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Sync};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      p.fragment_count = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+      p.total_bytes = static_cast<std::uint32_t>(rng.next_u64());
+      return Packet{p};
+    }
+    case 3: {
+      SyncAckPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::SyncAck};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      return Packet{p};
+    }
+    case 4: {
+      FragmentPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Fragment};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      p.index = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+      p.payload = random_bytes(rng, kMaxFragmentPayload);
+      return Packet{std::move(p)};
+    }
+    case 5: {
+      LostPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Lost};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      const auto n = rng.uniform_int(0, kMaxLostIndices);
+      for (std::int64_t i = 0; i < n; ++i) {
+        p.missing.push_back(static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF)));
+      }
+      return Packet{std::move(p)};
+    }
+    case 6: {
+      DonePacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Done};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      return Packet{p};
+    }
+    case 7: {
+      PollPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Poll};
+      p.route = random_route(rng);
+      p.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      return Packet{p};
+    }
+    case 8: {
+      AckedDataPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::AckedData};
+      p.route = random_route(rng);
+      p.payload = random_bytes(rng, kMaxDataPayload);
+      return Packet{std::move(p)};
+    }
+    default: {
+      AckPacket p;
+      p.link = {random_address(rng), random_address(rng), PacketType::Ack};
+      p.route = random_route(rng);
+      p.acked_id = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+      return Packet{p};
+    }
+  }
+}
+
+TEST_P(CodecProperty, DecodeIsTotalAndCanonical) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const auto frame = random_bytes(rng, 255);
+    const auto decoded = decode(frame);  // must never crash or UB
+    if (decoded) {
+      // Accepted frames re-encode to exactly the bytes that arrived.
+      EXPECT_EQ(encode(*decoded), frame);
+      EXPECT_EQ(encoded_size(*decoded), frame.size());
+    }
+  }
+}
+
+TEST_P(CodecProperty, RandomPacketsRoundTrip) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 300; ++i) {
+    const Packet original = random_packet(rng);
+    const auto frame = encode(original);
+    ASSERT_LE(frame.size(), 255u);
+    const auto decoded = decode(frame);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, original);
+    EXPECT_EQ(encoded_size(original), frame.size());
+  }
+}
+
+TEST_P(CodecProperty, SingleByteMutationIsHandled) {
+  Rng rng(GetParam() ^ 0xFACE);
+  for (int i = 0; i < 200; ++i) {
+    auto frame = encode(random_packet(rng));
+    const std::size_t pos = rng.index(frame.size());
+    frame[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto decoded = decode(frame);  // corruption must be survivable
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), frame);  // still canonical
+    }
+  }
+}
+
+TEST_P(CodecProperty, TruncationNeverCrashes) {
+  Rng rng(GetParam() ^ 0xD00D);
+  for (int i = 0; i < 200; ++i) {
+    const auto frame = encode(random_packet(rng));
+    const std::size_t keep = rng.index(frame.size() + 1);
+    const std::vector<std::uint8_t> cut(frame.begin(),
+                                        frame.begin() + static_cast<std::ptrdiff_t>(keep));
+    const auto decoded = decode(cut);
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), cut);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace lm::net

@@ -1,0 +1,76 @@
+// Property tests for the duty-cycle limiter: under ANY admissible schedule
+// the accounted airtime never exceeds the regulatory budget, and
+// next_allowed() is exact (admits at that instant, not a microsecond
+// before).
+#include <gtest/gtest.h>
+
+#include "net/duty_cycle.h"
+#include "support/rng.h"
+
+namespace lm::net {
+namespace {
+
+class DutyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DutyProperty, BudgetNeverExceededUnderDeferringSender) {
+  Rng rng(GetParam());
+  DutyCycleLimiter limiter(0.01, Duration::hours(1));
+  TimePoint now;
+  for (int i = 0; i < 2000; ++i) {
+    now += Duration::milliseconds(rng.uniform_int(0, 120'000));
+    const Duration airtime = Duration::milliseconds(rng.uniform_int(5, 3000));
+    // Sender policy: wait until allowed, then transmit.
+    const TimePoint when = limiter.next_allowed(now, airtime);
+    ASSERT_GE(when, now);
+    ASSERT_TRUE(limiter.allowed(when, airtime));
+    limiter.record(when, airtime);
+    now = when;
+    // Regulatory invariant at the admit instant.
+    ASSERT_LE(limiter.consumed(now).us(),
+              limiter.budget().us());
+    ASSERT_LE(limiter.utilization(now), 0.01 + 1e-12);
+  }
+}
+
+TEST_P(DutyProperty, NextAllowedIsTight) {
+  Rng rng(GetParam() ^ 0x77);
+  DutyCycleLimiter limiter(0.05, Duration::minutes(10));
+  TimePoint now;
+  for (int i = 0; i < 500; ++i) {
+    now += Duration::milliseconds(rng.uniform_int(0, 60'000));
+    const Duration airtime = Duration::milliseconds(rng.uniform_int(10, 5000));
+    const TimePoint when = limiter.next_allowed(now, airtime);
+    if (when > now) {
+      // One microsecond earlier must NOT be allowed: tightness.
+      ASSERT_FALSE(limiter.allowed(when - Duration::microseconds(1), airtime));
+    }
+    ASSERT_TRUE(limiter.allowed(when, airtime));
+    limiter.record(when, airtime);
+    now = when;
+  }
+}
+
+TEST_P(DutyProperty, GreedySenderThroughputApproachesTheLimit) {
+  // A sender that always transmits as early as permitted achieves (almost)
+  // exactly the configured duty fraction over long horizons.
+  Rng rng(GetParam() ^ 0x99);
+  DutyCycleLimiter limiter(0.01, Duration::hours(1));
+  TimePoint now;
+  Duration spent = Duration::zero();
+  const Duration frame = Duration::milliseconds(400);  // ~255 B at SF7
+  while (now < TimePoint::origin() + Duration::hours(48)) {
+    const TimePoint when = limiter.next_allowed(now, frame);
+    limiter.record(when, frame);
+    spent += frame;
+    now = when + frame;
+  }
+  const double fraction = spent.seconds_d() / (48.0 * 3600.0);
+  EXPECT_GT(fraction, 0.0095);
+  EXPECT_LE(fraction, 0.0101);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DutyProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+}  // namespace
+}  // namespace lm::net

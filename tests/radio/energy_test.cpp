@@ -1,0 +1,117 @@
+#include "radio/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/airtime.h"
+#include "radio/channel.h"
+#include "sim/simulator.h"
+#include "support/assert.h"
+
+namespace lm::radio {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest() : channel_(sim_, PropagationConfig::free_space(), 1) {}
+
+  sim::Simulator sim_;
+  Channel channel_;
+};
+
+TEST_F(EnergyTest, TimeAccrualPerState) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  // Standby from t=0.
+  sim_.run_for(Duration::seconds(10));
+  r.start_receive();
+  sim_.run_for(Duration::seconds(30));
+  r.sleep();
+  sim_.run_for(Duration::seconds(60));
+
+  EXPECT_EQ(r.time_in_state(RadioState::Standby), Duration::seconds(10));
+  EXPECT_EQ(r.time_in_state(RadioState::Rx), Duration::seconds(30));
+  EXPECT_EQ(r.time_in_state(RadioState::Sleep), Duration::seconds(60));
+  EXPECT_EQ(r.time_in_state(RadioState::Tx), Duration::zero());
+}
+
+TEST_F(EnergyTest, CurrentStateAccruesLive) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.start_receive();
+  sim_.run_for(Duration::seconds(5));
+  EXPECT_EQ(r.time_in_state(RadioState::Rx), Duration::seconds(5));
+  sim_.run_for(Duration::seconds(5));
+  EXPECT_EQ(r.time_in_state(RadioState::Rx), Duration::seconds(10));
+}
+
+TEST_F(EnergyTest, TxTimeMatchesAirtime) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.transmit(std::vector<std::uint8_t>(20, 1));
+  sim_.run_for(Duration::seconds(2));
+  EXPECT_EQ(r.time_in_state(RadioState::Tx),
+            phy::time_on_air(r.modulation(), 20));
+  EXPECT_EQ(r.time_in_state(RadioState::Tx), r.stats().tx_airtime);
+}
+
+TEST_F(EnergyTest, CadTimeAccrues) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.start_cad();
+  sim_.run_for(Duration::seconds(1));
+  EXPECT_EQ(r.time_in_state(RadioState::Cad), phy::cad_time(r.modulation()));
+}
+
+TEST_F(EnergyTest, ChargeComputation) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.start_receive();
+  sim_.run_for(Duration::hours(1));
+  const EnergyProfile profile = EnergyProfile::sx1276();
+  // One hour of RX at 11.5 mA = 11.5 mAh.
+  EXPECT_NEAR(charge_consumed_mah(r, profile), 11.5, 1e-6);
+  EXPECT_NEAR(average_current_ma(r, profile), 11.5, 1e-6);
+}
+
+TEST_F(EnergyTest, MixedStateCharge) {
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.sleep();
+  sim_.run_for(Duration::minutes(30));
+  r.start_receive();
+  sim_.run_for(Duration::minutes(30));
+  const double mah = charge_consumed_mah(r);
+  // 0.5 h sleep (~0) + 0.5 h RX (5.75 mAh).
+  EXPECT_NEAR(mah, 5.75, 0.01);
+  EXPECT_NEAR(average_current_ma(r), 5.75, 0.01);
+}
+
+TEST_F(EnergyTest, RxDominatesAnAlwaysOnNode) {
+  // A quiet listening node spends essentially everything on RX — the
+  // structural energy cost of mesh routing vs class-A LoRaWAN.
+  VirtualRadio r(sim_, channel_, 1, {0, 0}, {});
+  r.start_receive();
+  for (int i = 0; i < 24; ++i) {
+    sim_.run_for(Duration::hours(1) - Duration::seconds(1));
+    r.transmit(std::vector<std::uint8_t>(30, 1));  // one beacon-ish frame
+    sim_.run_for(Duration::seconds(1));
+    r.start_receive();
+  }
+  const double total = charge_consumed_mah(r);
+  const double rx_part = EnergyProfile::sx1276().rx_ma *
+                         r.time_in_state(RadioState::Rx).seconds_d() / 3600.0;
+  EXPECT_GT(rx_part / total, 0.99);
+}
+
+TEST_F(EnergyTest, ProfileCurrents) {
+  const EnergyProfile p = EnergyProfile::sx1276();
+  EXPECT_DOUBLE_EQ(p.current_for(RadioState::Rx), p.rx_ma);
+  EXPECT_DOUBLE_EQ(p.current_for(RadioState::Tx), p.tx_ma);
+  EXPECT_GT(p.tx_ma, p.rx_ma);
+  EXPECT_GT(p.rx_ma, p.standby_ma);
+  EXPECT_GT(p.standby_ma, p.sleep_ma);
+}
+
+TEST_F(EnergyTest, BatteryLife) {
+  // 2500 mAh at 11.5 mA ≈ 9.05 days.
+  EXPECT_NEAR(battery_life_days(11.5, 2500.0), 9.06, 0.01);
+  EXPECT_THROW(battery_life_days(0.0, 2500.0), ContractViolation);
+  EXPECT_THROW(battery_life_days(1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace lm::radio

@@ -1,0 +1,175 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lm::sim {
+namespace {
+
+TEST(Simulator, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RunsEventAtScheduledTime) {
+  Simulator sim;
+  TimePoint fired;
+  sim.schedule_after(Duration::seconds(3), [&] { fired = sim.now(); });
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(fired.us(), 3'000'000);
+  EXPECT_EQ(sim.now().us(), 10'000'000);  // clock advances to the target
+}
+
+TEST(Simulator, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = sim.now() + Duration::seconds(1);
+  sim.schedule_at(t, [&] { order.push_back(1); });
+  sim.schedule_at(t, [&] { order.push_back(2); });
+  sim.schedule_at(t, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EventsFireInTimeOrderRegardlessOfScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const TimerId id = sim.schedule_after(Duration::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.is_pending(id));
+  sim.cancel(id);
+  EXPECT_FALSE(sim.is_pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  const TimerId id = sim.schedule_after(Duration::seconds(1), [] {});
+  sim.run();
+  sim.cancel(id);  // already fired: no-op
+  sim.cancel(id);
+  sim.cancel(999999);  // never existed
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(Duration::seconds(1), chain);
+  };
+  sim.schedule_after(Duration::seconds(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now().us(), 5'000'000);
+}
+
+TEST(Simulator, HandlersMayCancelOtherEvents) {
+  Simulator sim;
+  bool victim_fired = false;
+  const TimerId victim =
+      sim.schedule_after(Duration::seconds(2), [&] { victim_fired = true; });
+  sim.schedule_after(Duration::seconds(1), [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(5), [&] { ++fired; });
+  const std::size_t processed = sim.run_until(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_EQ(processed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilBoundaryIsInclusive) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(Duration::seconds(2), [&] { fired = true; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepProcessesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(Duration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.schedule_after(Duration::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin(), [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_after(-Duration::seconds(1), [] {}), ContractViolation);
+}
+
+TEST(Simulator, RejectsNullCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(Duration::seconds(1), nullptr), ContractViolation);
+}
+
+TEST(Simulator, PendingCountTracksQueue) {
+  Simulator sim;
+  const TimerId a = sim.schedule_after(Duration::seconds(1), [] {});
+  sim.schedule_after(Duration::seconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ClockNeverGoesBackward) {
+  Simulator sim;
+  TimePoint last = sim.now();
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_after(Duration::milliseconds(i * 7 % 13), [&] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+}
+
+}  // namespace
+}  // namespace lm::sim

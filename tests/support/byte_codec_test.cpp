@@ -1,0 +1,99 @@
+#include "support/byte_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lm {
+namespace {
+
+TEST(ByteCodec, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i8(-5);
+  w.i16(-1000);
+  const auto buf = w.take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8 + 1 + 2);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i8(), -5);
+  EXPECT_EQ(r.i16(), -1000);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteCodec, LittleEndianWireOrder) {
+  ByteWriter w;
+  w.u16(0x1234);
+  const auto buf = w.data();
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x34);  // LSB first
+  EXPECT_EQ(buf[1], 0x12);
+}
+
+TEST(ByteCodec, BytesRoundTrip) {
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4, 5};
+  ByteWriter w;
+  w.u8(9);
+  w.bytes(blob);
+  const auto buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 9);
+  EXPECT_EQ(r.bytes(5), blob);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteCodec, RestConsumesRemainder) {
+  ByteWriter w;
+  w.u16(7);
+  w.bytes(std::vector<std::uint8_t>{9, 8, 7});
+  const auto buf = w.take();
+  ByteReader r(buf);
+  (void)r.u16();
+  EXPECT_EQ(r.rest(), (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteCodec, OverrunPoisonsReader) {
+  const std::vector<std::uint8_t> buf{0x01};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0);  // needs 2 bytes, only 1 available
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.u8(), 0);  // stays poisoned
+  EXPECT_TRUE(r.bytes(1).empty());
+}
+
+TEST(ByteCodec, EmptyFrame) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteCodec, BytesZeroLengthIsFine) {
+  const std::vector<std::uint8_t> buf{1};
+  ByteReader r(buf);
+  EXPECT_TRUE(r.bytes(0).empty());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u8(), 1);
+}
+
+TEST(ByteCodec, ToHexFormats) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{0x0A, 0xFF, 0x12}), "0A FF 12");
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{0x00}), "00");
+}
+
+}  // namespace
+}  // namespace lm

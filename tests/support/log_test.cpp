@@ -1,0 +1,53 @@
+#include "support/log.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace lm {
+namespace {
+
+TEST(Logger, LevelGatesOutput) {
+  Logger& log = Logger::instance();
+  const LogLevel prior = log.level();
+  log.set_level(LogLevel::Warn);
+  EXPECT_FALSE(log.enabled(LogLevel::Trace));
+  EXPECT_FALSE(log.enabled(LogLevel::Info));
+  EXPECT_TRUE(log.enabled(LogLevel::Warn));
+  EXPECT_TRUE(log.enabled(LogLevel::Error));
+  log.set_level(LogLevel::Off);
+  EXPECT_FALSE(log.enabled(LogLevel::Error));
+  log.set_level(prior);
+}
+
+TEST(Logger, MacrosCompileAndRespectLevel) {
+  Logger& log = Logger::instance();
+  const LogLevel prior = log.level();
+  log.set_level(LogLevel::Off);
+  // None of these may crash or emit (visually verified by quiet test runs).
+  LM_TRACE("test", "trace %d", 1);
+  LM_DEBUG("test", "debug %s", "x");
+  LM_INFO("test", "info");
+  LM_WARN("test", "warn %f", 1.5);
+  LM_ERROR("test", "error");
+  log.set_level(prior);
+}
+
+TEST(Logger, SimulatorTimeSourceAttachesAndDetaches) {
+  Logger& log = Logger::instance();
+  {
+    sim::Simulator sim;
+    sim.attach_logger_time_source();
+    sim.run_for(Duration::seconds(3));
+    // The time source reflects the simulated clock.
+    // (Indirect check: the destructor must detach without dangling.)
+  }
+  // After the simulator died, logging must not touch freed memory.
+  const LogLevel prior = log.level();
+  log.set_level(LogLevel::Off);
+  LM_ERROR("test", "post-detach log");
+  log.set_level(prior);
+}
+
+}  // namespace
+}  // namespace lm

@@ -1,0 +1,169 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lm {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRequiresOrderedBounds) {
+  Rng rng(4);
+  EXPECT_THROW(rng.uniform(1.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all of -2..3 hit
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(10);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, NormalZeroSigmaIsConstant) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(4.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.index(7), 7u);
+  }
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(15);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(16);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is 1/32! — negligible
+}
+
+}  // namespace
+}  // namespace lm

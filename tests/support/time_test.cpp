@@ -1,0 +1,79 @@
+#include "support/time.h"
+
+#include <gtest/gtest.h>
+
+namespace lm {
+namespace {
+
+TEST(Duration, FactoryConversions) {
+  EXPECT_EQ(Duration::microseconds(5).us(), 5);
+  EXPECT_EQ(Duration::milliseconds(3).us(), 3000);
+  EXPECT_EQ(Duration::seconds(2).us(), 2'000'000);
+  EXPECT_EQ(Duration::minutes(1).us(), 60'000'000);
+  EXPECT_EQ(Duration::hours(1).us(), 3'600'000'000LL);
+  EXPECT_EQ(Duration::seconds(2).ms(), 2000);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1500).seconds_d(), 1.5);
+}
+
+TEST(Duration, FromSecondsRoundsToNearestMicrosecond) {
+  EXPECT_EQ(Duration::from_seconds(1.0000004).us(), 1'000'000);
+  EXPECT_EQ(Duration::from_seconds(1.0000006).us(), 1'000'001);
+  EXPECT_EQ(Duration::from_seconds(-0.5).us(), -500'000);
+  EXPECT_EQ(Duration::from_seconds(0.0).us(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(2);
+  const Duration b = Duration::milliseconds(500);
+  EXPECT_EQ((a + b).us(), 2'500'000);
+  EXPECT_EQ((a - b).us(), 1'500'000);
+  EXPECT_EQ((a * 3).us(), 6'000'000);
+  EXPECT_EQ((3 * a).us(), 6'000'000);
+  EXPECT_EQ((a / 4).us(), 500'000);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_EQ((-b).us(), -500'000);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.us(), 2'500'000);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Duration, ScaleByDouble) {
+  EXPECT_EQ((Duration::seconds(10) * 0.5).us(), 5'000'000);
+  EXPECT_EQ((Duration::seconds(1) * 1.5).us(), 1'500'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::milliseconds(1), Duration::milliseconds(2));
+  EXPECT_GE(Duration::seconds(1), Duration::milliseconds(1000));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((-Duration::seconds(1)).is_negative());
+  EXPECT_FALSE(Duration::seconds(1).is_negative());
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::microseconds(64).to_string(), "64us");
+  EXPECT_EQ(Duration::milliseconds(250).to_string(), "250.000ms");
+  EXPECT_EQ(Duration::from_seconds(1.5).to_string(), "1.500s");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::seconds(5);
+  EXPECT_EQ(t1.us(), 5'000'000);
+  EXPECT_EQ((t1 - t0), Duration::seconds(5));
+  EXPECT_EQ((t1 - Duration::seconds(1)).us(), 4'000'000);
+  TimePoint t2 = t1;
+  t2 += Duration::seconds(1);
+  EXPECT_GT(t2, t1);
+  EXPECT_EQ(TimePoint::from_us(42).us(), 42);
+}
+
+TEST(TimePoint, OrderingAndExtremes) {
+  EXPECT_LT(TimePoint::origin(), TimePoint::max());
+  EXPECT_EQ(TimePoint::origin().to_string(), "t=0.000000s");
+}
+
+}  // namespace
+}  // namespace lm

@@ -1,0 +1,161 @@
+// Scale behaviour: beacon truncation in large meshes, multi-channel
+// isolation, and routing-table performance at size.
+#include <gtest/gtest.h>
+
+#include "phy/path_loss.h"
+#include "testbed/background_traffic.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+
+namespace lm::testbed {
+namespace {
+
+ScenarioConfig cfg(std::uint64_t seed = 1) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(30);
+  c.mesh.duty_cycle_limit = 1.0;
+  return c;
+}
+
+TEST(Scale, SeventyNodeDomainTruncatesBeaconsButRoutes) {
+  // 70 nodes in one broadcast domain: full tables (69 routes + self) exceed
+  // the 62-entry beacon cap, so beacons truncate. Every node still learns
+  // every 1-hop peer (nearest entries win truncation).
+  MeshScenario s(cfg(2));
+  auto positions = grid(9, 8, 40.0);  // all within ~450 m: one domain
+  positions.resize(70);
+  s.add_nodes(positions);
+  s.start_all();
+  s.run_for(Duration::minutes(20));
+
+  std::size_t full_tables = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s.node(i).routing_table().size() == 69) ++full_tables;
+  }
+  // Everyone hears everyone directly, so tables fill even though no single
+  // beacon can carry them all.
+  EXPECT_EQ(full_tables, 70u);
+  // And a corner-to-corner datagram goes through (1 hop).
+  int delivered = 0;
+  s.node(69).set_datagram_handler(
+      [&](net::Address, const std::vector<std::uint8_t>&, std::uint8_t hops) {
+        ++delivered;
+        EXPECT_EQ(hops, 1);
+      });
+  ASSERT_TRUE(s.node(0).send_datagram(s.address_of(69), {1}));
+  s.run_for(Duration::minutes(1));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Scale, MeshesOnDifferentChannelsDoNotInteract) {
+  // Two co-located meshes on 868.1 and 869.525 MHz share one physical
+  // space without hearing each other at all.
+  auto c = cfg(3);
+  MeshScenario s(c);
+  s.add_nodes(chain(2, 400.0));  // nodes 0,1 on the default channel
+
+  radio::RadioConfig other = c.radio;
+  other.frequency_hz = 869.525e6;
+  std::vector<std::unique_ptr<radio::VirtualRadio>> radios;
+  std::vector<std::unique_ptr<net::MeshNode>> nodes;
+  for (int i = 0; i < 2; ++i) {
+    radios.push_back(std::make_unique<radio::VirtualRadio>(
+        s.simulator(), s.channel(), static_cast<radio::RadioId>(50 + i),
+        phy::Position{static_cast<double>(i) * 400.0, 10.0}, other));
+    nodes.push_back(std::make_unique<net::MeshNode>(
+        s.simulator(), *radios.back(), static_cast<net::Address>(0x0100 + i),
+        c.mesh, 900 + static_cast<std::uint64_t>(i)));
+    nodes.back()->start();
+  }
+  s.start_all();
+  s.run_for(Duration::minutes(5));
+
+  // Each pair discovered its own channel-mate and nothing else.
+  EXPECT_TRUE(s.node(0).routing_table().has_route(s.address_of(1)));
+  EXPECT_FALSE(s.node(0).routing_table().has_route(0x0100));
+  EXPECT_TRUE(nodes[0]->routing_table().has_route(0x0101));
+  EXPECT_FALSE(nodes[0]->routing_table().has_route(s.address_of(0)));
+  // The foreign channel never even registered as interference.
+  EXPECT_EQ(s.channel().stats().dropped_collision, 0u);
+}
+
+TEST(Scale, BackgroundTrafficInjectsAndStops) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  BackgroundConfig bg;
+  bg.devices = 8;
+  bg.mean_uplink_interval = Duration::minutes(1);
+  BackgroundTraffic background(sim, channel, bg, 5);
+  background.start();
+  sim.run_for(Duration::hours(1));
+  // ~8 devices x ~60 uplinks/h.
+  EXPECT_GT(background.uplinks_sent(), 300u);
+  EXPECT_LT(background.uplinks_sent(), 700u);
+  EXPECT_GT(background.airtime_injected(), Duration::seconds(10));
+
+  background.stop();
+  const auto before = background.uplinks_sent();
+  sim.run_for(Duration::hours(1));
+  EXPECT_EQ(background.uplinks_sent(), before);
+}
+
+TEST(Scale, MixedSfBackgroundBarelyCollidesWithTheMesh) {
+  // Direct unit check of the quasi-orthogonality claim E13 relies on: at
+  // equal device count, co-SF interferers destroy far more mesh receptions
+  // than mixed-SF interferers, despite injecting less airtime.
+  auto run = [](bool mixed) {
+    ScenarioConfig c = cfg(9);
+    c.mesh.hello_interval = Duration::seconds(15);
+    MeshScenario s(c);
+    s.add_nodes(chain(3, 400.0));
+    s.start_all();
+    s.run_for(Duration::minutes(2));
+    BackgroundConfig bg;
+    bg.devices = 25;
+    bg.mean_uplink_interval = Duration::seconds(30);
+    bg.area_width_m = 800.0;
+    bg.area_height_m = 400.0;
+    bg.mixed_spreading_factors = mixed;
+    BackgroundTraffic background(s.simulator(), s.channel(), bg, 77);
+    s.channel().reset_stats();
+    background.start();
+    s.run_for(Duration::hours(2));
+    background.stop();
+    return s.channel().stats().dropped_collision;
+  };
+  const auto co_sf = run(false);
+  const auto mixed_sf = run(true);
+  EXPECT_GT(co_sf, 2 * mixed_sf);
+}
+
+TEST(Scale, RoutingTableHandlesHundredsOfDestinations) {
+  // Direct unit-level scale check: a table fed 500 destinations stays
+  // correct and its advertisement respects the cap with nearest-first
+  // retention.
+  net::RoutingTable t(0x0001, Duration::hours(1));
+  TimePoint now;
+  for (int i = 0; i < 500; ++i) {
+    t.apply_beacon(0x0002,
+                   {{static_cast<net::Address>(0x1000 + i),
+                     static_cast<std::uint8_t>(i % 14 + 1)}},
+                   now);
+    now += Duration::seconds(1);
+  }
+  EXPECT_EQ(t.size(), 501u);  // 500 + the neighbor
+  const auto adv = t.advertisement();
+  EXPECT_EQ(adv.size(), net::kMaxRoutingEntries);
+  // Truncation kept the best metrics: nothing in the advertisement is
+  // worse than what was dropped.
+  std::uint8_t worst_kept = 0;
+  for (const auto& e : adv) worst_kept = std::max(worst_kept, e.metric);
+  EXPECT_LE(worst_kept, 3);  // 62 slots cover metrics 0..~2 easily
+  // Expiry clears the lot in one sweep.
+  EXPECT_EQ(t.expire(now + Duration::hours(1)), 501u);
+}
+
+}  // namespace
+}  // namespace lm::testbed

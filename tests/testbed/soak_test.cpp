@@ -1,0 +1,107 @@
+// Soak test: a realistic deployment simulated for a full day — shadowed
+// field, periodic sensor traffic, occasional node churn, duty-cycle
+// enforcement — finishing with global consistency checks across every
+// counter the system keeps. One test, many invariants; this is the "leave
+// it running overnight" confidence check, compressed to seconds.
+#include <gtest/gtest.h>
+
+#include "metrics/packet_tracker.h"
+#include "phy/path_loss.h"
+#include "testbed/chaos.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+#include "testbed/traffic.h"
+
+namespace lm::testbed {
+namespace {
+
+TEST(Soak, TwentyFourHourFieldDeployment) {
+  ScenarioConfig c;
+  c.seed = 424242;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 2.0;
+  c.propagation.fading_sigma_db = 1.5;
+  c.mesh.hello_interval = Duration::seconds(60);
+  c.mesh.require_link_quality = true;  // field has marginal links
+  c.mesh.min_snr_margin_db = 5.0;
+
+  MeshScenario s(c);
+  Rng layout(c.seed);
+  const std::size_t sink = s.add_node({0, 0}, net::roles::kSink);
+  for (const auto& p : connected_random_field(15, 1600, 1600, 480, layout)) {
+    s.add_node(p);
+  }
+  metrics::PacketTracker tracker;
+  attach_tracker(s, tracker);
+  s.start_all();
+  s.run_for(Duration::minutes(20));
+
+  // Every sensor reports to the sink every ~5 minutes.
+  std::vector<std::unique_ptr<DatagramTraffic>> flows;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    flows.push_back(std::make_unique<DatagramTraffic>(
+        s, tracker, i, sink,
+        TrafficConfig{Duration::minutes(5), 16, true}, 7000 + i));
+    flows.back()->start();
+  }
+  // Background churn, sparing the sink.
+  ChaosConfig chaos;
+  chaos.mean_time_between_failures = Duration::hours(2);
+  chaos.min_outage = Duration::minutes(5);
+  chaos.max_outage = Duration::minutes(30);
+  chaos.protected_nodes = {sink};
+  ChaosMonkey monkey(s, chaos, 31337);
+  monkey.start();
+
+  s.run_for(Duration::hours(24));
+  monkey.stop();
+  for (auto& f : flows) f->stop();
+  s.run_for(Duration::minutes(10));
+
+  // --- Global invariants ----------------------------------------------------
+  const auto total = s.total_stats();
+  const auto& cs = s.channel().stats();
+
+  // Channel accounting identity: every reception opportunity has exactly
+  // one fate, and with 16 radios each frame creates exactly 15 of them.
+  const std::uint64_t fates = cs.receptions_delivered + cs.dropped_not_listening +
+                              cs.dropped_blocked_link +
+                              cs.dropped_below_sensitivity + cs.dropped_snr +
+                              cs.dropped_collision +
+                              cs.dropped_modulation_mismatch;
+  EXPECT_GT(cs.frames_transmitted, 1000u);
+  EXPECT_EQ(fates, cs.frames_transmitted * (s.size() - 1));
+  EXPECT_GT(cs.receptions_delivered, 0u);
+
+  // Per-node sanity.
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto& st = s.node(i).stats();
+    // Duty cycle was honored at every node at all times (limiter admits
+    // only within budget).
+    EXPECT_LE(s.node(i).duty_cycle().utilization(s.now()), 0.01 + 1e-9) << i;
+    // Nothing pathological accumulated.
+    EXPECT_EQ(st.malformed_frames, 0u) << i;
+    EXPECT_LT(st.forced_transmissions, 50u) << i;
+    // Queues drained by the end.
+    EXPECT_LE(s.node(i).queued_packets(), 2u) << i;
+  }
+
+  // The mesh did its job through churn: most readings arrived.
+  EXPECT_GT(tracker.attempted(), 3500u);
+  EXPECT_GT(tracker.pdr(), 0.55);
+  EXPECT_EQ(tracker.duplicates(), 0u);  // plain datagrams never duplicate
+  // Forwarding happened (multi-hop field), and the sink heard everyone who
+  // is currently alive.
+  EXPECT_GT(total.packets_forwarded, 500u);
+  std::size_t reachable = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s.node(i).running() &&
+        s.node(sink).routing_table().has_route(s.address_of(i))) {
+      ++reachable;
+    }
+  }
+  EXPECT_GE(reachable, 12u);
+}
+
+}  // namespace
+}  // namespace lm::testbed

@@ -1,0 +1,166 @@
+// Tests for the testbed tooling: sniffer, waypoint mobility, address
+// derivation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/address_util.h"
+#include "support/assert.h"
+#include "phy/path_loss.h"
+#include "testbed/mobility.h"
+#include "testbed/scenario.h"
+#include "testbed/sniffer.h"
+#include "testbed/topology.h"
+
+namespace lm::testbed {
+namespace {
+
+constexpr double kSpacing = 400.0;
+
+ScenarioConfig cfg(std::uint64_t seed = 1) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.duty_cycle_limit = 1.0;
+  return c;
+}
+
+TEST(Sniffer, CapturesBeaconsWithDecode) {
+  MeshScenario s(cfg());
+  s.add_nodes(chain(2, kSpacing));
+  Sniffer sniffer(s.simulator(), s.channel(), 99, {200.0, 0.0});
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+
+  EXPECT_GE(sniffer.captures().size(), 4u);  // ≥ 2 beacons per node
+  EXPECT_GE(sniffer.count_of(net::PacketType::Routing), 4u);
+  EXPECT_EQ(sniffer.undecodable(), 0u);
+  for (const CapturedFrame& c : sniffer.captures()) {
+    EXPECT_TRUE(c.packet.has_value());
+    EXPECT_GT(c.meta.rssi_dbm, -120.0);
+  }
+}
+
+TEST(Sniffer, SeesUnicastTrafficItIsNotPartOf) {
+  MeshScenario s(cfg());
+  s.add_nodes(chain(2, kSpacing));
+  Sniffer sniffer(s.simulator(), s.channel(), 99, {200.0, 0.0});
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  sniffer.clear();
+
+  s.node(0).send_datagram(s.address_of(1), {1, 2, 3, 4});
+  s.run_for(Duration::seconds(5));
+  EXPECT_EQ(sniffer.count_of(net::PacketType::Data), 1u);
+  // The mesh nodes never saw the sniffer: it only listens.
+  EXPECT_EQ(sniffer.radio().stats().tx_frames, 0u);
+}
+
+TEST(Sniffer, FlagsNonMeshFrames) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  Sniffer sniffer(sim, channel, 99, {0, 0});
+  radio::VirtualRadio rogue(sim, channel, 1, {100, 0}, {});
+  rogue.transmit({0xDE, 0xAD});
+  sim.run_for(Duration::seconds(1));
+  ASSERT_EQ(sniffer.captures().size(), 1u);
+  EXPECT_EQ(sniffer.undecodable(), 1u);
+  EXPECT_FALSE(sniffer.captures()[0].packet.has_value());
+}
+
+TEST(Sniffer, DumpAndCallback) {
+  MeshScenario s(cfg());
+  s.add_nodes(chain(2, kSpacing));
+  Sniffer sniffer(s.simulator(), s.channel(), 99, {200.0, 0.0});
+  int live = 0;
+  sniffer.set_callback([&](const CapturedFrame&) { ++live; });
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  EXPECT_EQ(static_cast<std::size_t>(live), sniffer.captures().size());
+  EXPECT_NE(sniffer.dump().find("ROUTING"), std::string::npos);
+}
+
+TEST(WaypointMover, ReachesWaypointsAtConstantSpeed) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  radio::VirtualRadio r(sim, channel, 1, {0, 0}, {});
+  WaypointMover mover(sim, r, {{100, 0}, {100, 100}}, 10.0);
+  mover.start();
+
+  sim.run_for(Duration::seconds(5));
+  EXPECT_NEAR(r.position().x, 50.0, 1e-9);
+  EXPECT_NEAR(r.position().y, 0.0, 1e-9);
+
+  sim.run_for(Duration::seconds(10));  // t=15: 150 m along the path
+  EXPECT_NEAR(r.position().x, 100.0, 1e-9);
+  EXPECT_NEAR(r.position().y, 50.0, 1e-9);
+  EXPECT_FALSE(mover.done());
+
+  sim.run_for(Duration::seconds(10));  // t=25: past the 200 m total
+  EXPECT_NEAR(r.position().x, 100.0, 1e-9);
+  EXPECT_NEAR(r.position().y, 100.0, 1e-9);
+  EXPECT_TRUE(mover.done());
+  EXPECT_NEAR(mover.distance_travelled_m(), 200.0, 1e-9);
+}
+
+TEST(WaypointMover, PassesMultipleWaypointsInOneTick) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  radio::VirtualRadio r(sim, channel, 1, {0, 0}, {});
+  // 3 waypoints 1 m apart, speed 100 m/s, 1 s tick: all consumed at once.
+  WaypointMover mover(sim, r, {{1, 0}, {2, 0}, {3, 0}}, 100.0);
+  mover.start();
+  sim.run_for(Duration::seconds(1));
+  EXPECT_TRUE(mover.done());
+  EXPECT_NEAR(r.position().x, 3.0, 1e-9);
+}
+
+TEST(WaypointMover, StopFreezesPosition) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  radio::VirtualRadio r(sim, channel, 1, {0, 0}, {});
+  WaypointMover mover(sim, r, {{1000, 0}}, 10.0);
+  mover.start();
+  sim.run_for(Duration::seconds(3));
+  mover.stop();
+  const auto frozen = r.position();
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(r.position(), frozen);
+}
+
+TEST(WaypointMover, RejectsBadParameters) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  radio::VirtualRadio r(sim, channel, 1, {0, 0}, {});
+  EXPECT_THROW(WaypointMover(sim, r, {{1, 0}}, 0.0), ContractViolation);
+  EXPECT_THROW(WaypointMover(sim, r, {{1, 0}}, 1.0, Duration::zero()),
+               ContractViolation);
+}
+
+TEST(AddressUtil, NeverProducesReservedAddresses) {
+  for (std::uint64_t mac = 0; mac < 50'000; ++mac) {
+    const net::Address a = net::address_from_mac(mac);
+    ASSERT_TRUE(net::is_valid_node_address(a));
+  }
+}
+
+TEST(AddressUtil, SpreadsVendorPrefixedMacs) {
+  // Same vendor prefix, consecutive serials — addresses must still spread.
+  std::set<net::Address> seen;
+  for (std::uint64_t serial = 0; serial < 1000; ++serial) {
+    seen.insert(net::address_from_mac(0xA4CF12000000ULL | serial));
+  }
+  // Birthday bound: ~992 distinct expected out of 1000 over 2^16.
+  EXPECT_GT(seen.size(), 950u);
+}
+
+TEST(AddressUtil, Deterministic) {
+  EXPECT_EQ(net::address_from_mac(0x1234567890ABULL),
+            net::address_from_mac(0x1234567890ABULL));
+}
+
+}  // namespace
+}  // namespace lm::testbed

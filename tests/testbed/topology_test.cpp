@@ -1,0 +1,101 @@
+#include "testbed/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace lm::testbed {
+namespace {
+
+TEST(Topology, ChainSpacing) {
+  const auto p = chain(4, 250.0);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(p[3].x, 750.0);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(phy::distance_m(p[i - 1], p[i]), 250.0);
+  }
+}
+
+TEST(Topology, GridLayout) {
+  const auto p = grid(2, 3, 100.0);
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_DOUBLE_EQ(phy::distance_m(p[0], p[1]), 100.0);  // same row
+  EXPECT_DOUBLE_EQ(phy::distance_m(p[0], p[3]), 100.0);  // same column
+  EXPECT_DOUBLE_EQ(phy::distance_m(p[0], p[5]), std::sqrt(100.0 * 100 * 5));
+}
+
+TEST(Topology, StarHubAndLeaves) {
+  const auto p = star(6, 500.0);
+  ASSERT_EQ(p.size(), 7u);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_NEAR(phy::distance_m(p[0], p[i]), 500.0, 1e-9);
+  }
+}
+
+TEST(Topology, RandomFieldStaysInBounds) {
+  Rng rng(3);
+  const auto p = random_field(50, 1000.0, 400.0, rng);
+  ASSERT_EQ(p.size(), 50u);
+  for (const auto& pos : p) {
+    EXPECT_GE(pos.x, 0.0);
+    EXPECT_LT(pos.x, 1000.0);
+    EXPECT_GE(pos.y, 0.0);
+    EXPECT_LT(pos.y, 400.0);
+  }
+}
+
+TEST(Topology, ConnectedRandomFieldIsConnected) {
+  Rng rng(4);
+  const double radius = 400.0;
+  const auto p = connected_random_field(16, 1200.0, 1200.0, radius, rng);
+  const auto linked = [&](std::size_t a, std::size_t b) {
+    return phy::distance_m(p[a], p[b]) <= radius;
+  };
+  EXPECT_TRUE(is_connected(p.size(), linked));
+}
+
+TEST(Topology, ConnectedRandomFieldThrowsWhenInfeasible) {
+  Rng rng(5);
+  // 30 m link radius in a 100 km field: essentially never connected.
+  EXPECT_THROW(connected_random_field(10, 100'000.0, 100'000.0, 30.0, rng, 5),
+               ContractViolation);
+}
+
+TEST(Topology, HopMatrixOnAChain) {
+  const auto linked = [](std::size_t a, std::size_t b) {
+    return (a > b ? a - b : b - a) == 1;
+  };
+  const auto hops = hop_matrix(4, linked);
+  EXPECT_EQ(hops[0][0], 0);
+  EXPECT_EQ(hops[0][1], 1);
+  EXPECT_EQ(hops[0][3], 3);
+  EXPECT_EQ(hops[3][0], 3);
+}
+
+TEST(Topology, HopMatrixDisconnected) {
+  const auto linked = [](std::size_t a, std::size_t b) {
+    return (a < 2) == (b < 2) && a != b;  // two islands {0,1} and {2,3}
+  };
+  const auto hops = hop_matrix(4, linked);
+  EXPECT_EQ(hops[0][1], 1);
+  EXPECT_EQ(hops[0][2], -1);
+  EXPECT_FALSE(is_connected(4, linked));
+}
+
+TEST(Topology, HopMatrixRespectsDirectedLinks) {
+  const auto linked = [](std::size_t a, std::size_t b) {
+    return b == a + 1;  // one-way chain
+  };
+  const auto hops = hop_matrix(3, linked);
+  EXPECT_EQ(hops[0][2], 2);
+  EXPECT_EQ(hops[2][0], -1);
+}
+
+TEST(Topology, EmptyAndSingleton) {
+  EXPECT_TRUE(is_connected(0, [](std::size_t, std::size_t) { return false; }));
+  EXPECT_TRUE(is_connected(1, [](std::size_t, std::size_t) { return false; }));
+}
+
+}  // namespace
+}  // namespace lm::testbed

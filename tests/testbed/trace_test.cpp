@@ -1,0 +1,134 @@
+#include "testbed/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "phy/path_loss.h"
+#include "testbed/topology.h"
+
+namespace lm::testbed {
+namespace {
+
+ScenarioConfig cfg() {
+  ScenarioConfig c;
+  c.seed = 6;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.duty_cycle_limit = 1.0;
+  return c;
+}
+
+/// Validates one JSON line structurally without a JSON library: balanced
+/// braces and quotes, newline-terminated, contains the expected keys.
+void expect_jsonish_line(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line[line.size() - 2], '}');
+  int quotes = 0;
+  for (char c : line) {
+    if (c == '"') ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0) << line;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) break;
+    out.push_back(text.substr(start, end - start + 1));
+    start = end + 1;
+  }
+  return out;
+}
+
+TEST(Trace, FramesSerializeWithProtocolFields) {
+  MeshScenario s(cfg());
+  s.add_nodes(chain(2, 400.0));
+  Sniffer sniffer(s.simulator(), s.channel(), 99, {200.0, 0.0});
+  s.start_all();
+  s.run_for(Duration::seconds(25));
+  s.node(0).send_datagram(s.address_of(1), {1, 2, 3});
+  s.run_for(Duration::seconds(5));
+
+  const std::string jsonl = captures_to_json(sniffer);
+  const auto lines = lines_of(jsonl);
+  ASSERT_EQ(lines.size(), sniffer.captures().size());
+  bool saw_routing = false, saw_data = false;
+  for (const auto& line : lines) {
+    expect_jsonish_line(line);
+    EXPECT_NE(line.find(R"("kind":"frame")"), std::string::npos);
+    EXPECT_NE(line.find(R"("rssi":)"), std::string::npos);
+    if (line.find(R"("type":"ROUTING")") != std::string::npos) saw_routing = true;
+    if (line.find(R"("type":"DATA")") != std::string::npos) {
+      saw_data = true;
+      // Routed packets carry the end-to-end fields.
+      EXPECT_NE(line.find(R"("origin":"0x0001")"), std::string::npos);
+      EXPECT_NE(line.find(R"("final":"0x0002")"), std::string::npos);
+      EXPECT_NE(line.find(R"("ttl":)"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_routing);
+  EXPECT_TRUE(saw_data);
+}
+
+TEST(Trace, UndecodableFramesAreMarked) {
+  sim::Simulator sim;
+  radio::Channel channel(sim, radio::PropagationConfig::free_space(), 1);
+  Sniffer sniffer(sim, channel, 99, {0, 0});
+  radio::VirtualRadio rogue(sim, channel, 1, {100, 0}, {});
+  rogue.transmit({0xFF, 0xFF});
+  sim.run_for(Duration::seconds(1));
+
+  const std::string jsonl = captures_to_json(sniffer);
+  EXPECT_NE(jsonl.find(R"("undecodable":true)"), std::string::npos);
+  expect_jsonish_line(jsonl);
+}
+
+TEST(Trace, RouteSnapshotCoversEveryEntry) {
+  MeshScenario s(cfg());
+  s.add_nodes(chain(3, 400.0));
+  s.start_all();
+  ASSERT_TRUE(s.run_until_converged(Duration::minutes(5)).has_value());
+
+  const std::string jsonl = routes_to_json(s);
+  const auto lines = lines_of(jsonl);
+  std::size_t total_entries = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    total_entries += s.node(i).routing_table().size();
+  }
+  ASSERT_EQ(lines.size(), total_entries);
+  for (const auto& line : lines) {
+    expect_jsonish_line(line);
+    EXPECT_NE(line.find(R"("kind":"route")"), std::string::npos);
+    EXPECT_NE(line.find(R"("metric":)"), std::string::npos);
+  }
+  // The 2-hop route of the chain end shows up verbatim.
+  EXPECT_NE(jsonl.find(R"("node":"0x0001","dst":"0x0003","via":"0x0002","metric":2)"),
+            std::string::npos);
+}
+
+TEST(Trace, WriteFileRoundTrips) {
+  const std::string path = "/tmp/lm_trace_test.jsonl";
+  const std::string content = "{\"kind\":\"frame\"}\n";
+  ASSERT_TRUE(write_file(path, content));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), content);
+}
+
+TEST(Trace, WriteFileFailsOnBadPath) {
+  EXPECT_FALSE(write_file("/nonexistent-dir/x/y.jsonl", "x"));
+}
+
+}  // namespace
+}  // namespace lm::testbed

@@ -1,0 +1,82 @@
+#include "metrics/packet_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "support/assert.h"
+
+namespace lm::metrics {
+namespace {
+
+TimePoint at(int seconds) { return TimePoint::origin() + Duration::seconds(seconds); }
+
+TEST(PacketTracker, TokensAreSequential) {
+  PacketTracker t;
+  EXPECT_EQ(t.register_send(at(0)), 0u);
+  EXPECT_EQ(t.register_send(at(1)), 1u);
+  EXPECT_EQ(t.attempted(), 2u);
+}
+
+TEST(PacketTracker, PayloadRoundTripsToken) {
+  const auto payload = PacketTracker::make_payload(0xABCDEF0123456789ULL, 32);
+  EXPECT_EQ(payload.size(), 32u);
+  const auto token = PacketTracker::extract_token(payload);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(*token, 0xABCDEF0123456789ULL);
+}
+
+TEST(PacketTracker, PayloadMinimumSizeEnforced) {
+  EXPECT_THROW(PacketTracker::make_payload(1, 7), lm::ContractViolation);
+  EXPECT_EQ(PacketTracker::make_payload(1, 8).size(), 8u);
+}
+
+TEST(PacketTracker, ShortPayloadYieldsNoToken) {
+  EXPECT_FALSE(PacketTracker::extract_token(std::vector<std::uint8_t>(7, 0))
+                   .has_value());
+}
+
+TEST(PacketTracker, DeliveryComputesPdrAndLatency) {
+  PacketTracker t;
+  const auto tok0 = t.register_send(at(0));
+  t.register_send(at(1));  // never delivered
+  const auto tok2 = t.register_send(at(2));
+
+  t.register_delivery(tok0, at(3), 2);
+  t.register_delivery(tok2, at(4), 1);
+  EXPECT_EQ(t.delivered(), 2u);
+  EXPECT_NEAR(t.pdr(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.latency().min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.latency().max(), 3.0);
+  EXPECT_DOUBLE_EQ(t.hops().mean(), 1.5);
+}
+
+TEST(PacketTracker, DuplicateDeliveriesDoNotInflatePdr) {
+  PacketTracker t;
+  const auto tok = t.register_send(at(0));
+  t.register_delivery(tok, at(1), 1);
+  t.register_delivery(tok, at(2), 1);
+  EXPECT_EQ(t.delivered(), 1u);
+  EXPECT_EQ(t.duplicates(), 1u);
+  EXPECT_DOUBLE_EQ(t.pdr(), 1.0);
+}
+
+TEST(PacketTracker, UnknownTokenIgnored) {
+  PacketTracker t;
+  t.register_delivery(999, at(1), 1);
+  EXPECT_EQ(t.delivered(), 0u);
+}
+
+TEST(PacketTracker, RefusedSendsCountAgainstPdr) {
+  PacketTracker t;
+  t.register_send(at(0));
+  t.register_refused();
+  EXPECT_EQ(t.refused(), 1u);
+  EXPECT_DOUBLE_EQ(t.pdr(), 0.0);
+}
+
+TEST(PacketTracker, EmptyTrackerPdrIsZero) {
+  PacketTracker t;
+  EXPECT_DOUBLE_EQ(t.pdr(), 0.0);
+}
+
+}  // namespace
+}  // namespace lm::metrics
