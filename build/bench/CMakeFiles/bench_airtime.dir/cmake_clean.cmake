@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_airtime.dir/bench_airtime.cpp.o"
+  "CMakeFiles/bench_airtime.dir/bench_airtime.cpp.o.d"
+  "bench_airtime"
+  "bench_airtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_airtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coexistence.dir/bench_coexistence.cpp.o"
+  "CMakeFiles/bench_coexistence.dir/bench_coexistence.cpp.o.d"
+  "bench_coexistence"
+  "bench_coexistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coexistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_demo_scenario.dir/bench_demo_scenario.cpp.o"
+  "CMakeFiles/bench_demo_scenario.dir/bench_demo_scenario.cpp.o.d"
+  "bench_demo_scenario"
+  "bench_demo_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_demo_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

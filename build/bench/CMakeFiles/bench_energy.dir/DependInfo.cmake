@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_energy.cpp" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_energy.dir/bench_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/lm_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/lm_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_quality.dir/bench_link_quality.cpp.o"
+  "CMakeFiles/bench_link_quality.dir/bench_link_quality.cpp.o.d"
+  "bench_link_quality"
+  "bench_link_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

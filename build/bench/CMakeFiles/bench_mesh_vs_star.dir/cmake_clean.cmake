@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_vs_star.dir/bench_mesh_vs_star.cpp.o"
+  "CMakeFiles/bench_mesh_vs_star.dir/bench_mesh_vs_star.cpp.o.d"
+  "bench_mesh_vs_star"
+  "bench_mesh_vs_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_vs_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multihop.dir/bench_multihop.cpp.o"
+  "CMakeFiles/bench_multihop.dir/bench_multihop.cpp.o.d"
+  "bench_multihop"
+  "bench_multihop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

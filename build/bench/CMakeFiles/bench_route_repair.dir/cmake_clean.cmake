@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_route_repair.dir/bench_route_repair.cpp.o"
+  "CMakeFiles/bench_route_repair.dir/bench_route_repair.cpp.o.d"
+  "bench_route_repair"
+  "bench_route_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_route_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

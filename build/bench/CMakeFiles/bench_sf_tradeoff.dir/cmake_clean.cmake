@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sf_tradeoff.dir/bench_sf_tradeoff.cpp.o"
+  "CMakeFiles/bench_sf_tradeoff.dir/bench_sf_tradeoff.cpp.o.d"
+  "bench_sf_tradeoff"
+  "bench_sf_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sf_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_discovery.dir/gateway_discovery.cpp.o"
+  "CMakeFiles/gateway_discovery.dir/gateway_discovery.cpp.o.d"
+  "gateway_discovery"
+  "gateway_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

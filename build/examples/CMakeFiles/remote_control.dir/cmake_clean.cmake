@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_control.dir/remote_control.cpp.o"
+  "CMakeFiles/remote_control.dir/remote_control.cpp.o.d"
+  "remote_control"
+  "remote_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_baseline.dir/flooding_node.cpp.o"
+  "CMakeFiles/lm_baseline.dir/flooding_node.cpp.o.d"
+  "CMakeFiles/lm_baseline.dir/star_network.cpp.o"
+  "CMakeFiles/lm_baseline.dir/star_network.cpp.o.d"
+  "liblm_baseline.a"
+  "liblm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_metrics.dir/packet_tracker.cpp.o"
+  "CMakeFiles/lm_metrics.dir/packet_tracker.cpp.o.d"
+  "liblm_metrics.a"
+  "liblm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address_util.cpp" "src/net/CMakeFiles/lm_net.dir/address_util.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/address_util.cpp.o.d"
+  "/root/repo/src/net/duty_cycle.cpp" "src/net/CMakeFiles/lm_net.dir/duty_cycle.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/net/mesh_node.cpp" "src/net/CMakeFiles/lm_net.dir/mesh_node.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/mesh_node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/lm_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/port_mux.cpp" "src/net/CMakeFiles/lm_net.dir/port_mux.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/port_mux.cpp.o.d"
+  "/root/repo/src/net/reliable_receiver.cpp" "src/net/CMakeFiles/lm_net.dir/reliable_receiver.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/reliable_receiver.cpp.o.d"
+  "/root/repo/src/net/reliable_sender.cpp" "src/net/CMakeFiles/lm_net.dir/reliable_sender.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/reliable_sender.cpp.o.d"
+  "/root/repo/src/net/routing_table.cpp" "src/net/CMakeFiles/lm_net.dir/routing_table.cpp.o" "gcc" "src/net/CMakeFiles/lm_net.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/lm_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

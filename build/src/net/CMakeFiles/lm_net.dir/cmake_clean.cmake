@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_net.dir/address_util.cpp.o"
+  "CMakeFiles/lm_net.dir/address_util.cpp.o.d"
+  "CMakeFiles/lm_net.dir/duty_cycle.cpp.o"
+  "CMakeFiles/lm_net.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/lm_net.dir/mesh_node.cpp.o"
+  "CMakeFiles/lm_net.dir/mesh_node.cpp.o.d"
+  "CMakeFiles/lm_net.dir/packet.cpp.o"
+  "CMakeFiles/lm_net.dir/packet.cpp.o.d"
+  "CMakeFiles/lm_net.dir/port_mux.cpp.o"
+  "CMakeFiles/lm_net.dir/port_mux.cpp.o.d"
+  "CMakeFiles/lm_net.dir/reliable_receiver.cpp.o"
+  "CMakeFiles/lm_net.dir/reliable_receiver.cpp.o.d"
+  "CMakeFiles/lm_net.dir/reliable_sender.cpp.o"
+  "CMakeFiles/lm_net.dir/reliable_sender.cpp.o.d"
+  "CMakeFiles/lm_net.dir/routing_table.cpp.o"
+  "CMakeFiles/lm_net.dir/routing_table.cpp.o.d"
+  "liblm_net.a"
+  "liblm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

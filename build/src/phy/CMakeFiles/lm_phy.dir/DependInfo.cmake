@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/airtime.cpp" "src/phy/CMakeFiles/lm_phy.dir/airtime.cpp.o" "gcc" "src/phy/CMakeFiles/lm_phy.dir/airtime.cpp.o.d"
+  "/root/repo/src/phy/lora_params.cpp" "src/phy/CMakeFiles/lm_phy.dir/lora_params.cpp.o" "gcc" "src/phy/CMakeFiles/lm_phy.dir/lora_params.cpp.o.d"
+  "/root/repo/src/phy/path_loss.cpp" "src/phy/CMakeFiles/lm_phy.dir/path_loss.cpp.o" "gcc" "src/phy/CMakeFiles/lm_phy.dir/path_loss.cpp.o.d"
+  "/root/repo/src/phy/reception.cpp" "src/phy/CMakeFiles/lm_phy.dir/reception.cpp.o" "gcc" "src/phy/CMakeFiles/lm_phy.dir/reception.cpp.o.d"
+  "/root/repo/src/phy/region.cpp" "src/phy/CMakeFiles/lm_phy.dir/region.cpp.o" "gcc" "src/phy/CMakeFiles/lm_phy.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

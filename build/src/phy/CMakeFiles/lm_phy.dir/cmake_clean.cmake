@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_phy.dir/airtime.cpp.o"
+  "CMakeFiles/lm_phy.dir/airtime.cpp.o.d"
+  "CMakeFiles/lm_phy.dir/lora_params.cpp.o"
+  "CMakeFiles/lm_phy.dir/lora_params.cpp.o.d"
+  "CMakeFiles/lm_phy.dir/path_loss.cpp.o"
+  "CMakeFiles/lm_phy.dir/path_loss.cpp.o.d"
+  "CMakeFiles/lm_phy.dir/reception.cpp.o"
+  "CMakeFiles/lm_phy.dir/reception.cpp.o.d"
+  "CMakeFiles/lm_phy.dir/region.cpp.o"
+  "CMakeFiles/lm_phy.dir/region.cpp.o.d"
+  "liblm_phy.a"
+  "liblm_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

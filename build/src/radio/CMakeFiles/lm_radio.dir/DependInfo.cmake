@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/lm_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/lm_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/energy.cpp" "src/radio/CMakeFiles/lm_radio.dir/energy.cpp.o" "gcc" "src/radio/CMakeFiles/lm_radio.dir/energy.cpp.o.d"
+  "/root/repo/src/radio/virtual_radio.cpp" "src/radio/CMakeFiles/lm_radio.dir/virtual_radio.cpp.o" "gcc" "src/radio/CMakeFiles/lm_radio.dir/virtual_radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/lm_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_radio.dir/channel.cpp.o"
+  "CMakeFiles/lm_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/lm_radio.dir/energy.cpp.o"
+  "CMakeFiles/lm_radio.dir/energy.cpp.o.d"
+  "CMakeFiles/lm_radio.dir/virtual_radio.cpp.o"
+  "CMakeFiles/lm_radio.dir/virtual_radio.cpp.o.d"
+  "liblm_radio.a"
+  "liblm_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

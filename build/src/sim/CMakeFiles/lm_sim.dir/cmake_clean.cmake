@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/lm_sim.dir/simulator.cpp.o.d"
+  "liblm_sim.a"
+  "liblm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_support.dir/byte_codec.cpp.o"
+  "CMakeFiles/lm_support.dir/byte_codec.cpp.o.d"
+  "CMakeFiles/lm_support.dir/log.cpp.o"
+  "CMakeFiles/lm_support.dir/log.cpp.o.d"
+  "CMakeFiles/lm_support.dir/rng.cpp.o"
+  "CMakeFiles/lm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/lm_support.dir/stats.cpp.o"
+  "CMakeFiles/lm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/lm_support.dir/time.cpp.o"
+  "CMakeFiles/lm_support.dir/time.cpp.o.d"
+  "liblm_support.a"
+  "liblm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

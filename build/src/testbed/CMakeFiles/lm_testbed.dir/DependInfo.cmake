@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/background_traffic.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/background_traffic.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/background_traffic.cpp.o.d"
+  "/root/repo/src/testbed/chaos.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/chaos.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/chaos.cpp.o.d"
+  "/root/repo/src/testbed/flood_scenario.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/flood_scenario.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/flood_scenario.cpp.o.d"
+  "/root/repo/src/testbed/mobility.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/mobility.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/mobility.cpp.o.d"
+  "/root/repo/src/testbed/scenario.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/scenario.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/scenario.cpp.o.d"
+  "/root/repo/src/testbed/sniffer.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/sniffer.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/sniffer.cpp.o.d"
+  "/root/repo/src/testbed/topology.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/topology.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/topology.cpp.o.d"
+  "/root/repo/src/testbed/trace.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/trace.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/trace.cpp.o.d"
+  "/root/repo/src/testbed/traffic.cpp" "src/testbed/CMakeFiles/lm_testbed.dir/traffic.cpp.o" "gcc" "src/testbed/CMakeFiles/lm_testbed.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/lm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/lm_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/lm_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_testbed.dir/background_traffic.cpp.o"
+  "CMakeFiles/lm_testbed.dir/background_traffic.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/chaos.cpp.o"
+  "CMakeFiles/lm_testbed.dir/chaos.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/flood_scenario.cpp.o"
+  "CMakeFiles/lm_testbed.dir/flood_scenario.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/mobility.cpp.o"
+  "CMakeFiles/lm_testbed.dir/mobility.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/scenario.cpp.o"
+  "CMakeFiles/lm_testbed.dir/scenario.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/sniffer.cpp.o"
+  "CMakeFiles/lm_testbed.dir/sniffer.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/topology.cpp.o"
+  "CMakeFiles/lm_testbed.dir/topology.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/trace.cpp.o"
+  "CMakeFiles/lm_testbed.dir/trace.cpp.o.d"
+  "CMakeFiles/lm_testbed.dir/traffic.cpp.o"
+  "CMakeFiles/lm_testbed.dir/traffic.cpp.o.d"
+  "liblm_testbed.a"
+  "liblm_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_integration.dir/net/acked_datagram_test.cpp.o"
+  "CMakeFiles/test_mesh_integration.dir/net/acked_datagram_test.cpp.o.d"
+  "CMakeFiles/test_mesh_integration.dir/net/link_quality_test.cpp.o"
+  "CMakeFiles/test_mesh_integration.dir/net/link_quality_test.cpp.o.d"
+  "CMakeFiles/test_mesh_integration.dir/net/mesh_node_test.cpp.o"
+  "CMakeFiles/test_mesh_integration.dir/net/mesh_node_test.cpp.o.d"
+  "CMakeFiles/test_mesh_integration.dir/net/mock_radio_test.cpp.o"
+  "CMakeFiles/test_mesh_integration.dir/net/mock_radio_test.cpp.o.d"
+  "test_mesh_integration"
+  "test_mesh_integration.pdb"
+  "test_mesh_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

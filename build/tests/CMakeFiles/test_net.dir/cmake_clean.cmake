@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/duty_cycle_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/duty_cycle_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/dwell_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/dwell_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/packet_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/packet_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/pipeline_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/port_mux_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/port_mux_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/protocol_behavior_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/protocol_behavior_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/reliable_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/reliable_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/routing_table_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/routing_table_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/rx_duty_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/rx_duty_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

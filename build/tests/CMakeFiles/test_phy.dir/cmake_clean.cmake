@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/airtime_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/airtime_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/link_model_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/link_model_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/region_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/region_test.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

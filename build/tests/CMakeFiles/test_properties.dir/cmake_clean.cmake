@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/adversarial_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/adversarial_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/codec_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/codec_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/duty_cycle_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/duty_cycle_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/mesh_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/mesh_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/routing_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/routing_properties_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/channel_edge_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/channel_edge_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/energy_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/energy_test.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/radio_test.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/radio_test.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testbed.dir/testbed/baseline_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/baseline_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/chaos_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/chaos_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/scale_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/scale_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/scenario_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/scenario_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/soak_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/soak_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/tools_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/tools_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/topology_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/topology_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/trace_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/trace_test.cpp.o.d"
+  "CMakeFiles/test_testbed.dir/testbed/tracker_test.cpp.o"
+  "CMakeFiles/test_testbed.dir/testbed/tracker_test.cpp.o.d"
+  "test_testbed"
+  "test_testbed.pdb"
+  "test_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
