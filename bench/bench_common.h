@@ -3,14 +3,25 @@
 // Each bench binary regenerates one table/figure from DESIGN.md's
 // experiment index and prints it as an aligned text table, plus the
 // paper-claim context so EXPERIMENTS.md can record paper-vs-measured.
+//
+// Perf trajectory: every bench constructs a Reporter, which times the whole
+// binary and each sweep point, always prints one machine-readable
+// BENCH_SUMMARY line, and — when invoked with --json — writes
+// BENCH_<name>.json so successive PRs can diff wall time and events/sec
+// without re-parsing prose output.
 #pragma once
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "phy/path_loss.h"
+#include "support/thread_pool.h"
 #include "testbed/scenario.h"
 
 namespace lm::bench {
@@ -32,6 +43,93 @@ inline std::string format(const char* fmt, ...) {
   va_end(args);
   return buf;
 }
+
+/// Monotonic wall-clock stopwatch (the simulation itself never sees this —
+/// it only feeds perf reporting).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Collects named metrics for one bench run; prints a single
+/// `BENCH_SUMMARY {...}` JSON line on finish() and, with --json, writes the
+/// same object to BENCH_<name>.json in the working directory.
+class Reporter {
+ public:
+  Reporter(const char* name, int argc, char** argv) : name_(name) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_ = true;
+      else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        const long parsed = std::strtol(argv[i] + 10, nullptr, 10);
+        if (parsed > 0) threads_ = static_cast<std::size_t>(parsed);
+      }
+    }
+    if (threads_ == 0) threads_ = ThreadPool::default_thread_count();
+  }
+
+  ~Reporter() { finish(); }
+
+  bool json() const { return json_; }
+
+  /// Worker count a bench should use: --threads=N, else LM_THREADS, else
+  /// hardware concurrency.
+  std::size_t threads() const { return threads_; }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Records one sweep point's wall time and prints it inline, so slow
+  /// points are attributable without any external timing.
+  void point(const std::string& label, double wall_s) {
+    metric("point." + label + ".wall_s", wall_s);
+    std::printf("[point] %-32s %8.2f s wall\n", label.c_str(), wall_s);
+  }
+
+  /// Emits the summary (idempotent; also run by the destructor).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    metric("wall_s", timer_.seconds());
+    metric("threads", static_cast<double>(threads_));
+    const std::string body = to_json();
+    std::printf("BENCH_SUMMARY %s\n", body.c_str());
+    if (json_) {
+      const std::string path = "BENCH_" + name_ + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fprintf(f, "%s\n", body.c_str());
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      }
+    }
+  }
+
+ private:
+  std::string to_json() const {
+    std::string out = "{\"name\":\"" + name_ + "\"";
+    for (const auto& [key, value] : metrics_) {
+      out += ",\"" + key + "\":" + format("%.6g", value);
+    }
+    out += "}";
+    return out;
+  }
+
+  std::string name_;
+  bool json_ = false;
+  bool finished_ = false;
+  std::size_t threads_ = 0;
+  WallTimer timer_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Fixed-width table printer: feed a header row then data rows.
 class Table {

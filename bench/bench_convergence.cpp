@@ -4,16 +4,50 @@
 // convergence should grow roughly linearly with network diameter and be a
 // small multiple of the hello interval. Chains stress diameter; random
 // geometric fields stress realistic multi-path layouts.
+//
+// Every (topology, hello, seed) run is self-contained, so the whole sweep
+// is sharded across a ParallelRunner; results are aggregated in input
+// order, making the tables independent of thread count.
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
 #include "support/stats.h"
+#include "testbed/parallel_runner.h"
 #include "testbed/topology.h"
 
 using namespace lm;
 
 namespace {
 
+// One converge attempt; a pure function of (positions, hello, seed).
+struct SingleRun {
+  bool converged = false;
+  double elapsed_s = 0.0;
+  int diameter = 0;
+};
+
+SingleRun measure_one(const std::vector<phy::Position>& positions,
+                      Duration hello, std::uint64_t seed) {
+  SingleRun r;
+  auto cfg = bench::campus_config(seed);
+  cfg.mesh.hello_interval = hello;
+  testbed::MeshScenario s(cfg);
+  s.add_nodes(positions);
+  s.start_all();
+  for (const auto& row : s.expected_hops()) {
+    for (int h : row) r.diameter = std::max(r.diameter, h);
+  }
+  const auto elapsed =
+      s.run_until_converged(Duration::hours(4), Duration::seconds(5));
+  if (elapsed) {
+    r.converged = true;
+    r.elapsed_s = elapsed->seconds_d();
+  }
+  return r;
+}
+
+// Aggregate over the per-seed runs of one sweep point.
 struct Result {
   double mean_s = 0.0;
   double max_s = 0.0;
@@ -21,48 +55,89 @@ struct Result {
   bool all_converged = true;
 };
 
-Result measure(const std::vector<phy::Position>& positions, Duration hello,
-               const std::vector<std::uint64_t>& seeds) {
+Result aggregate(const std::vector<SingleRun>& runs) {
   Result r;
   lm::RunningStats stats;
-  for (std::uint64_t seed : seeds) {
-    auto cfg = bench::campus_config(seed);
-    cfg.mesh.hello_interval = hello;
-    testbed::MeshScenario s(cfg);
-    s.add_nodes(positions);
-    s.start_all();
-    const auto hops = s.expected_hops();
-    for (const auto& row : hops) {
-      for (int h : row) r.diameter = std::max(r.diameter, h);
-    }
-    const auto elapsed = s.run_until_converged(Duration::hours(4),
-                                               Duration::seconds(5));
-    if (!elapsed) {
+  for (const SingleRun& run : runs) {
+    r.diameter = std::max(r.diameter, run.diameter);
+    if (!run.converged) {
       r.all_converged = false;
       continue;
     }
-    stats.add(elapsed->seconds_d());
+    stats.add(run.elapsed_s);
   }
   r.mean_s = stats.mean();
   r.max_s = stats.max();
   return r;
 }
 
+struct Job {
+  std::vector<phy::Position> positions;
+  Duration hello;
+  std::uint64_t seed;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_convergence", argc, argv);
   bench::banner("E2", "convergence time vs network size",
                 "tables converge within a few hello periods; time grows with "
                 "network diameter (one hop of information per beacon)");
 
   const std::vector<std::uint64_t> seeds{11, 22, 33};
   const Duration hello = Duration::seconds(60);
+  const std::vector<std::size_t> chain_sizes{2, 4, 8, 12, 16, 20, 24};
+  const std::vector<std::size_t> field_sizes{8, 16, 24};
+  const std::vector<int> hello_sweep_s{30, 60, 120, 300};
 
-  std::printf("\nchain topologies (hello = 60 s, 3 seeds):\n");
+  // Flatten every (topology, hello, seed) combination into one job list and
+  // shard it; jobs are grouped per sweep point in input order so the
+  // aggregation below just walks contiguous stripes of `seeds.size()`.
+  std::vector<Job> jobs;
+  for (std::size_t n : chain_sizes) {
+    for (std::uint64_t seed : seeds) {
+      jobs.push_back({testbed::chain(n, bench::kChainSpacing), hello, seed});
+    }
+  }
+  for (std::size_t n : field_sizes) {
+    const double side = 500.0 * std::sqrt(static_cast<double>(n));
+    Rng rng(1000 + n);
+    const auto positions =
+        testbed::connected_random_field(n, side, side, 550.0, rng);
+    for (std::uint64_t seed : seeds) jobs.push_back({positions, hello, seed});
+  }
+  for (int hello_s : hello_sweep_s) {
+    for (std::uint64_t seed : seeds) {
+      jobs.push_back({testbed::chain(8, bench::kChainSpacing),
+                      Duration::seconds(hello_s), seed});
+    }
+  }
+
+  testbed::ParallelRunner runner(reporter.threads());
+  std::printf("\nsharding %zu runs over %zu threads\n", jobs.size(),
+              runner.threads());
+  bench::WallTimer sweep_timer;
+  const auto runs = runner.map<SingleRun>(jobs.size(), [&](std::size_t i) {
+    return measure_one(jobs[i].positions, jobs[i].hello, jobs[i].seed);
+  });
+  reporter.point("all_runs", sweep_timer.seconds());
+  reporter.metric("runs", static_cast<double>(jobs.size()));
+
+  std::size_t next = 0;
+  auto take = [&] {
+    std::vector<SingleRun> group(runs.begin() + static_cast<std::ptrdiff_t>(next),
+                                 runs.begin() + static_cast<std::ptrdiff_t>(
+                                                    next + seeds.size()));
+    next += seeds.size();
+    return aggregate(group);
+  };
+
+  std::printf("\nchain topologies (hello = 60 s, %zu seeds):\n", seeds.size());
   bench::Table chains({"nodes", "diameter", "mean convergence", "max",
                        "mean / hello"});
-  for (std::size_t n : {2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-    const auto r = measure(testbed::chain(n, bench::kChainSpacing), hello, seeds);
+  for (std::size_t n : chain_sizes) {
+    const auto r = take();
     if (!r.all_converged) {
       // Paths longer than kInfiniteMetric - 1 hops are unroutable by design
       // (RIP-style bounded metric), so chains beyond 16 nodes cannot fully
@@ -74,32 +149,31 @@ int main() {
     chains.row({std::to_string(n), std::to_string(r.diameter),
                 bench::format("%.0f s", r.mean_s), bench::format("%.0f s", r.max_s),
                 bench::format("%.1fx", r.mean_s / hello.seconds_d())});
+    reporter.metric(bench::format("chain_%zu.mean_convergence_s", n), r.mean_s);
   }
   chains.print();
 
   std::printf("\nrandom geometric fields (600 m link radius budget, density "
               "held ~constant):\n");
   bench::Table fields({"nodes", "field", "diameter", "mean convergence", "max"});
-  for (std::size_t n : {8u, 16u, 24u}) {
-    // Grow the field with N so multi-hop structure persists.
+  for (std::size_t n : field_sizes) {
     const double side = 500.0 * std::sqrt(static_cast<double>(n));
-    Rng rng(1000 + n);
-    const auto positions =
-        testbed::connected_random_field(n, side, side, 550.0, rng);
-    const auto r = measure(positions, hello, seeds);
+    const auto r = take();
     fields.row({std::to_string(n), bench::format("%.0fx%.0f m", side, side),
                 std::to_string(r.diameter), bench::format("%.0f s", r.mean_s),
                 bench::format("%.0f s", r.max_s)});
+    reporter.metric(bench::format("field_%zu.mean_convergence_s", n), r.mean_s);
   }
   fields.print();
 
   std::printf("\nhello-interval sweep on an 8-node chain (ablation):\n");
   bench::Table sweep({"hello", "mean convergence", "mean / hello"});
-  for (int hello_s : {30, 60, 120, 300}) {
-    const auto r = measure(testbed::chain(8, bench::kChainSpacing),
-                           Duration::seconds(hello_s), seeds);
+  for (int hello_s : hello_sweep_s) {
+    const auto r = take();
     sweep.row({bench::format("%d s", hello_s), bench::format("%.0f s", r.mean_s),
                bench::format("%.1fx", r.mean_s / hello_s)});
+    reporter.metric(bench::format("hello_%d.mean_convergence_s", hello_s),
+                    r.mean_s);
   }
   sweep.print();
   return 0;

@@ -4,10 +4,16 @@
 //
 // All nodes hear each other, so every beacon contends with every other.
 // CAD + backoff should keep collisions low as N grows; pure ALOHA decays.
+//
+// Each (N, channel-access) cell is one self-contained simulation, sharded
+// across a ParallelRunner and printed in input order.
+#include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.h"
 #include "metrics/packet_tracker.h"
+#include "testbed/parallel_runner.h"
 #include "testbed/topology.h"
 #include "testbed/traffic.h"
 
@@ -19,9 +25,11 @@ struct DensityResult {
   double collision_rate = 0.0;  // collided receptions / reception attempts
   double traffic_pdr = 0.0;
   std::uint64_t forced_tx = 0;
+  double wall_s = 0.0;
 };
 
 DensityResult run(std::size_t n, bool use_cad, std::uint64_t seed) {
+  bench::WallTimer wall;
   auto cfg = bench::campus_config(seed);
   cfg.mesh.hello_interval = Duration::seconds(60);
   cfg.mesh.use_cad = use_cad;
@@ -63,27 +71,49 @@ DensityResult run(std::size_t n, bool use_cad, std::uint64_t seed) {
       attempts > 0 ? static_cast<double>(cs.dropped_collision) / attempts : 0.0;
   r.traffic_pdr = tracker.pdr();
   r.forced_tx = total.forced_transmissions;
+  r.wall_s = wall.seconds();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_density", argc, argv);
   bench::banner("E9", "dense broadcast-domain scaling: CAD vs ALOHA",
                 "listen-before-talk keeps the beacon flood mostly "
                 "collision-free as density grows; without it collisions "
                 "climb with N");
 
+  struct Cell {
+    std::size_t n;
+    bool cad;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n : {8u, 16u, 32u, 48u}) {
+    for (bool cad : {true, false}) cells.push_back({n, cad});
+  }
+
+  testbed::ParallelRunner runner(reporter.threads());
+  std::printf("\nsharding %zu runs over %zu threads\n", cells.size(),
+              runner.threads());
+  const auto results = runner.map<DensityResult>(
+      cells.size(),
+      [&](std::size_t i) { return run(cells[i].n, cells[i].cad, 500 + cells[i].n); });
+
   bench::Table t({"nodes", "channel access", "collision rate", "traffic PDR",
                   "forced TX"});
-  for (std::size_t n : {8u, 16u, 32u, 48u}) {
-    for (bool cad : {true, false}) {
-      const auto r = run(n, cad, 500 + n);
-      t.row({std::to_string(n), cad ? "CAD+backoff" : "ALOHA",
-             bench::format("%.2f %%", 100 * r.collision_rate),
-             bench::format("%.1f %%", 100 * r.traffic_pdr),
-             std::to_string(r.forced_tx)});
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    const auto& r = results[i];
+    t.row({std::to_string(cell.n), cell.cad ? "CAD+backoff" : "ALOHA",
+           bench::format("%.2f %%", 100 * r.collision_rate),
+           bench::format("%.1f %%", 100 * r.traffic_pdr),
+           std::to_string(r.forced_tx)});
+    const std::string label =
+        bench::format("n%zu_%s", cell.n, cell.cad ? "cad" : "aloha");
+    reporter.point(label, r.wall_s);
+    reporter.metric(label + ".collision_rate", r.collision_rate);
+    reporter.metric(label + ".pdr", r.traffic_pdr);
   }
   t.print();
 

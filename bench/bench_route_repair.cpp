@@ -4,10 +4,14 @@
 // route_timeout_intervals hello periods, at which point an alternate path
 // (if any) takes over. Measures both the routing-layer re-convergence time
 // and the application-visible delivery gap, and ablates the timeout factor.
+//
+// The three timeout ablation points are independent simulations, sharded
+// across a ParallelRunner.
 #include <cstdio>
 
 #include "bench_common.h"
 #include "metrics/packet_tracker.h"
+#include "testbed/parallel_runner.h"
 #include "testbed/topology.h"
 #include "testbed/traffic.h"
 
@@ -19,9 +23,11 @@ struct Repair {
   double reconverge_s = -1.0;   // failure -> tables correct again
   double delivery_gap_s = -1.0; // last delivery before -> first after
   double pdr_after = 0.0;       // delivery ratio in the hour after failure
+  double wall_s = 0.0;
 };
 
 Repair run(int timeout_intervals, std::uint64_t seed) {
+  bench::WallTimer wall;
   auto cfg = bench::campus_config(seed);
   cfg.mesh.hello_interval = Duration::seconds(60);
   cfg.mesh.route_timeout_intervals = timeout_intervals;
@@ -53,7 +59,6 @@ Repair run(int timeout_intervals, std::uint64_t seed) {
       });
 
   // Steady traffic 0 -> 3, one packet per 20 s (manual, so we can count).
-  Rng traffic_rng(seed + 5);
   auto send_one = [&] {
     if (failed) sent_after++;
     std::vector<std::uint8_t> p(16, 0xAA);
@@ -86,26 +91,40 @@ Repair run(int timeout_intervals, std::uint64_t seed) {
   r.pdr_after = sent_after > 0 ? static_cast<double>(delivered_after) /
                                      static_cast<double>(sent_after)
                                : 0.0;
+  r.wall_s = wall.seconds();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_route_repair", argc, argv);
   bench::banner("E6", "route repair after relay failure (diamond topology)",
                 "routes through a dead relay age out after "
                 "route_timeout_intervals hello periods, then the alternate "
                 "relay takes over; smaller timeouts repair faster but risk "
                 "flapping");
 
+  const std::vector<int> timeouts{3, 5, 10};
+  testbed::ParallelRunner runner(reporter.threads());
+  std::printf("\nsharding %zu runs over %zu threads\n", timeouts.size(),
+              runner.threads());
+  const auto results = runner.map<Repair>(timeouts.size(), [&](std::size_t i) {
+    return run(timeouts[i], 99);
+  });
+
   bench::Table t({"timeout (hellos)", "expected age-out", "re-convergence",
                   "delivery gap", "PDR in hour after failure"});
-  for (int intervals : {3, 5, 10}) {
-    const auto r = run(intervals, 99);
+  for (std::size_t i = 0; i < timeouts.size(); ++i) {
+    const int intervals = timeouts[i];
+    const auto& r = results[i];
     t.row({std::to_string(intervals), bench::format("%d s", intervals * 60),
            r.reconverge_s >= 0 ? bench::format("%.0f s", r.reconverge_s) : "never",
            r.delivery_gap_s >= 0 ? bench::format("%.0f s", r.delivery_gap_s) : "never",
            bench::format("%.1f %%", 100 * r.pdr_after)});
+    const std::string label = bench::format("timeout_%d", intervals);
+    reporter.point(label, r.wall_s);
+    reporter.metric(label + ".pdr_after", r.pdr_after);
   }
   t.print();
 

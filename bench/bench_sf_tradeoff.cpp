@@ -6,10 +6,14 @@
 // node runs: at SF7 the ends need 5 hops; by SF10 they are in direct
 // range. The interesting question is which regime delivers better — and
 // what it costs in airtime and duty-cycle headroom.
+//
+// Each (SF, hello) case is one self-contained simulation; the five cases
+// run concurrently on a ParallelRunner.
 #include <cstdio>
 
 #include "bench_common.h"
 #include "metrics/packet_tracker.h"
+#include "testbed/parallel_runner.h"
 #include "testbed/topology.h"
 #include "testbed/traffic.h"
 
@@ -24,9 +28,11 @@ struct SfResult {
   double p50_ms = 0.0;
   double airtime_per_pkt_s = 0.0;
   double worst_duty = 0.0;
+  double wall_s = 0.0;
 };
 
 SfResult run(phy::SpreadingFactor sf, Duration hello, std::uint64_t seed) {
+  bench::WallTimer wall;
   auto cfg = bench::campus_config(seed);
   cfg.radio.modulation.sf = sf;
   cfg.mesh.hello_interval = hello;
@@ -62,19 +68,19 @@ SfResult run(phy::SpreadingFactor sf, Duration hello, std::uint64_t seed) {
     r.worst_duty = std::max(
         r.worst_duty, s.node(i).duty_cycle().utilization(s.simulator().now()));
   }
+  r.wall_s = wall.seconds();
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_sf_tradeoff", argc, argv);
   bench::banner("E11", "spreading factor: range vs airtime over a 2 km chain",
                 "higher SF shortens the path (more link budget) but each "
                 "frame costs exponentially more airtime; the sweet spot "
                 "depends on the deployment's geometry");
 
-  bench::Table t({"SF", "hello", "hops 0->5", "convergence", "PDR",
-                  "p50 latency", "data airtime/pkt", "worst duty"});
   struct Case {
     phy::SpreadingFactor sf;
     int hello_s;
@@ -82,12 +88,24 @@ int main() {
   // SF10 at a 60 s beacon period spends ~1 %/h on beacons alone — exactly
   // the duty budget — so it is shown both raw (saturated) and with the
   // beacon period deployments actually use at high SF.
-  for (const Case c : {Case{phy::SpreadingFactor::SF7, 60},
-                       Case{phy::SpreadingFactor::SF8, 60},
-                       Case{phy::SpreadingFactor::SF9, 60},
-                       Case{phy::SpreadingFactor::SF10, 60},
-                       Case{phy::SpreadingFactor::SF10, 300}}) {
-    const auto r = run(c.sf, Duration::seconds(c.hello_s), 31);
+  const std::vector<Case> cases{{phy::SpreadingFactor::SF7, 60},
+                                {phy::SpreadingFactor::SF8, 60},
+                                {phy::SpreadingFactor::SF9, 60},
+                                {phy::SpreadingFactor::SF10, 60},
+                                {phy::SpreadingFactor::SF10, 300}};
+
+  testbed::ParallelRunner runner(reporter.threads());
+  std::printf("\nsharding %zu runs over %zu threads\n", cases.size(),
+              runner.threads());
+  const auto results = runner.map<SfResult>(cases.size(), [&](std::size_t i) {
+    return run(cases[i].sf, Duration::seconds(cases[i].hello_s), 31);
+  });
+
+  bench::Table t({"SF", "hello", "hops 0->5", "convergence", "PDR",
+                  "p50 latency", "data airtime/pkt", "worst duty"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case c = cases[i];
+    const auto& r = results[i];
     t.row({phy::to_string(c.sf), bench::format("%d s", c.hello_s),
            r.hops_needed > 0 ? std::to_string(r.hops_needed) : "-",
            r.convergence_s >= 0 ? bench::format("%.0f s", r.convergence_s) : "n/a",
@@ -95,6 +113,10 @@ int main() {
            bench::format("%.0f ms", r.p50_ms),
            bench::format("%.3f s", r.airtime_per_pkt_s),
            bench::format("%.2f %%", 100 * r.worst_duty)});
+    const std::string label =
+        bench::format("%s_hello%d", phy::to_string(c.sf), c.hello_s);
+    reporter.point(label, r.wall_s);
+    reporter.metric(label + ".pdr", r.pdr);
   }
   t.print();
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the concurrency layer.
+#
+# Configures a dedicated build tree with -DLM_SANITIZE=thread, builds only
+# the test binary that exercises ThreadPool and ParallelRunner, and runs it.
+# Any data race TSan finds fails the script (non-zero exit), so this is
+# suitable as a CI step:
+#
+#   scripts/check_tsan.sh [--build-dir=DIR]
+set -euo pipefail
+
+BUILD_DIR=build-tsan
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD_DIR" -S . -DLM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target test_parallel -j "$(nproc)"
+
+# halt_on_error makes the first race fail the run instead of only logging it.
+TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/test_parallel"
+echo "TSan: thread_pool + parallel_runner tests clean"

@@ -16,9 +16,9 @@ std::pair<RadioId, RadioId> link_key(RadioId a, RadioId b) {
   return a < b ? std::pair{a, b} : std::pair{b, a};
 }
 
-/// History entries older than this can no longer overlap anything: the
-/// longest frame (SF12, 255 B, CR4/8) stays under 10 s on the air.
-constexpr Duration kHistoryHorizon = Duration::seconds(15);
+std::uint64_t directed_key(RadioId tx, RadioId rx) {
+  return (static_cast<std::uint64_t>(tx) << 32) | rx;
+}
 
 }  // namespace
 
@@ -70,8 +70,10 @@ void Channel::begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame) {
   t.frequency_hz = radio.config().frequency_hz;
   t.mod = radio.modulation();
   t.start = sim_.now();
-  t.end = t.start + phy::time_on_air(t.mod, frame.size());
+  const Duration airtime = phy::time_on_air(t.mod, frame.size());
+  t.end = t.start + airtime;
   t.frame = std::move(frame);
+  if (airtime > longest_airtime_) longest_airtime_ = airtime;
   stats_.frames_transmitted++;
 
   const std::uint64_t seq = t.seq;
@@ -116,11 +118,26 @@ double Channel::link_shadowing_db(RadioId a, RadioId b) const {
   return it->second;
 }
 
+double Channel::propagation_loss_db(RadioId tx_id, const phy::Position& tx_pos,
+                                    const VirtualRadio& rx) const {
+  // Path loss + static shadowing only depend on the endpoints' positions,
+  // which are stable across thousands of frames in a typical scenario —
+  // cache per directed link and re-validate by position compare (mobility
+  // moves a radio, the compare fails, the entry recomputes).
+  LinkLoss& e = link_loss_[directed_key(tx_id, rx.id())];
+  if (!e.valid || e.tx_pos != tx_pos || e.rx_pos != rx.position()) {
+    e.tx_pos = tx_pos;
+    e.rx_pos = rx.position();
+    e.loss_db = config_.path_loss->path_loss_db(phy::distance_m(tx_pos, e.rx_pos)) +
+                link_shadowing_db(tx_id, rx.id());
+    e.valid = true;
+  }
+  return e.loss_db;
+}
+
 double Channel::mean_rssi_from(const Transmission& t, const VirtualRadio& rx) const {
-  const double pl = config_.path_loss->path_loss_db(
-      phy::distance_m(t.tx_pos, rx.position()));
-  return t.tx_power_dbm + t.antenna_gain_db + rx.config().antenna_gain_db - pl -
-         link_shadowing_db(t.tx_id, rx.id());
+  return t.tx_power_dbm + t.antenna_gain_db + rx.config().antenna_gain_db -
+         propagation_loss_db(t.tx_id, t.tx_pos, rx);
 }
 
 double Channel::rssi_with_fading(Transmission& t, const VirtualRadio& rx) {
@@ -148,22 +165,25 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
     return;
   }
 
+  if (rx.modulation().sf != t.mod.sf || rx.modulation().bw != t.mod.bw) {
+    stats_.dropped_modulation_mismatch++;
+    return;
+  }
+
+  // Cheap state checks before any propagation math: a radio that was not in
+  // continuous RX for the whole frame cannot decode it no matter the RSSI,
+  // so skip the path-loss/fading work (and the fading RNG draw) entirely.
+  if (!rx.listening_since(t.start)) {
+    stats_.dropped_not_listening++;
+    return;
+  }
+
   // Find the (mutable) transmission record for fading caching. `t` lives in
   // history_, so this const_cast only unlocks the cache field.
   auto& frame = const_cast<Transmission&>(t);
   const double rssi = rssi_with_fading(frame, rx);
   if (rssi < phy::sensitivity_dbm(t.mod.sf, t.mod.bw)) {
     stats_.dropped_below_sensitivity++;
-    return;
-  }
-
-  if (rx.modulation().sf != t.mod.sf || rx.modulation().bw != t.mod.bw) {
-    stats_.dropped_modulation_mismatch++;
-    return;
-  }
-
-  if (!rx.listening_since(t.start)) {
-    stats_.dropped_not_listening++;
     return;
   }
 
@@ -297,7 +317,13 @@ double Channel::link_quality(const VirtualRadio& tx, const VirtualRadio& rx) con
 }
 
 void Channel::prune_history() {
-  const TimePoint horizon = sim_.now() - kHistoryHorizon;
+  // A record can still matter in two ways: as an interferer for a frame
+  // currently in flight (that frame started at most longest_airtime_ ago, and
+  // a record only overlaps its vulnerable window if it ended after the
+  // frame's start), or as a carrier for a CAD window (which is always shorter
+  // than any same-SF frame's airtime). Both bounds retire anything that
+  // ended more than one longest-frame-airtime ago.
+  const TimePoint horizon = sim_.now() - longest_airtime_;
   while (!history_.empty() && history_.front().end < horizon) {
     history_.pop_front();
   }

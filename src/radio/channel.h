@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/geometry.h"
@@ -108,6 +109,11 @@ class Channel {
   const ChannelStats& stats() const { return stats_; }
   void reset_stats() { stats_ = ChannelStats{}; }
 
+  /// Transmissions currently on the air. Reception opportunities for these
+  /// frames have not been decided yet, so accounting identities over
+  /// stats() must exclude them.
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+
   sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -127,11 +133,24 @@ class Channel {
     std::map<RadioId, double> fading_db;
   };
 
+  // Cached propagation loss (path loss + static shadowing, dB) for one
+  // directed tx -> rx link, valid while both endpoints stay at the cached
+  // positions. Mobility invalidates naturally: a moved radio fails the
+  // position compare and the entry recomputes.
+  struct LinkLoss {
+    phy::Position tx_pos;
+    phy::Position rx_pos;
+    double loss_db = 0.0;
+    bool valid = false;
+  };
+
   void finish_tx(std::uint64_t seq);
   bool detectable_by(const Transmission& t, const VirtualRadio& listener) const;
   void evaluate_reception(const Transmission& t, VirtualRadio& rx);
   double rssi_with_fading(Transmission& t, const VirtualRadio& rx);
   double link_shadowing_db(RadioId a, RadioId b) const;
+  double propagation_loss_db(RadioId tx_id, const phy::Position& tx_pos,
+                             const VirtualRadio& rx) const;
   double mean_rssi_from(const Transmission& t, const VirtualRadio& rx) const;
   void prune_history();
 
@@ -142,10 +161,12 @@ class Channel {
   std::vector<Transmission> in_flight_;
   std::deque<Transmission> history_;  // recently-ended, kept for overlap checks
   mutable std::map<std::pair<RadioId, RadioId>, double> shadowing_;
+  mutable std::unordered_map<std::uint64_t, LinkLoss> link_loss_;  // (tx<<32)|rx
   std::map<std::pair<RadioId, RadioId>, double> extra_loss_;
   std::map<std::pair<RadioId, RadioId>, bool> blocked_;
   ChannelStats stats_;
   std::uint64_t next_seq_ = 1;
+  Duration longest_airtime_;  // longest frame seen; bounds the history scan
 };
 
 }  // namespace lm::radio

@@ -14,10 +14,21 @@ Simulator::~Simulator() {
 TimerId Simulator::schedule_at(TimePoint t, std::function<void()> fn) {
   LM_REQUIRE(t >= now_);
   LM_REQUIRE(fn != nullptr);
-  const TimerId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;  // gen >= 1 always, so make_id() never returns 0
+  s.live = true;
+  s.fn = std::move(fn);
+  queue_.push(QueueEntry{t, next_seq_++, slot, s.gen});
+  ++live_count_;
+  return make_id(slot, s.gen);
 }
 
 TimerId Simulator::schedule_after(Duration d, std::function<void()> fn) {
@@ -25,25 +36,56 @@ TimerId Simulator::schedule_after(Duration d, std::function<void()> fn) {
   return schedule_at(now_ + d, std::move(fn));
 }
 
-void Simulator::cancel(TimerId id) { live_.erase(id); }
+const Simulator::Slot* Simulator::find_live(TimerId id) const {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (slot >= slots_.size()) return nullptr;
+  const Slot& s = slots_[slot];
+  return (s.live && s.gen == gen) ? &s : nullptr;
+}
 
-bool Simulator::is_pending(TimerId id) const { return live_.contains(id); }
+void Simulator::cancel(TimerId id) {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return;
+  s.live = false;
+  s.fn = nullptr;  // release the closure (and its captures) right now
+  free_.push_back(slot);
+  --live_count_;
+  // The queue entry stays behind as a stale (slot, gen) key; pop_dead()
+  // discards it when its timestamp surfaces.
+}
 
-void Simulator::pop_cancelled() {
-  while (!queue_.empty() && !live_.contains(queue_.top().id)) queue_.pop();
+bool Simulator::is_pending(TimerId id) const { return find_live(id) != nullptr; }
+
+void Simulator::pop_dead() {
+  while (!queue_.empty()) {
+    const QueueEntry& e = queue_.top();
+    const Slot& s = slots_[e.slot];
+    if (s.live && s.gen == e.gen) return;
+    queue_.pop();
+  }
 }
 
 bool Simulator::step() {
-  pop_cancelled();
+  pop_dead();
   if (queue_.empty()) return false;
-  // Copy out before pop: the handler may schedule new events, which mutates
-  // the queue under us otherwise.
-  Event ev = queue_.top();
+  const QueueEntry e = queue_.top();  // POD copy; the closure stays put
   queue_.pop();
-  live_.erase(ev.id);
-  LM_ASSERT(ev.at >= now_);
-  now_ = ev.at;
-  ev.fn();
+  Slot& s = slots_[e.slot];
+  // Move the closure out before firing: the handler may schedule new events,
+  // which may reuse this very slot.
+  std::function<void()> fn = std::move(s.fn);
+  s.live = false;
+  s.fn = nullptr;
+  free_.push_back(e.slot);
+  --live_count_;
+  LM_ASSERT(e.at >= now_);
+  now_ = e.at;
+  ++events_processed_;
+  fn();
   return true;
 }
 
@@ -52,7 +94,7 @@ std::size_t Simulator::run_until(TimePoint t) {
   stop_requested_ = false;
   std::size_t processed = 0;
   for (;;) {
-    pop_cancelled();
+    pop_dead();
     if (queue_.empty() || queue_.top().at > t) break;
     step();
     ++processed;

@@ -6,6 +6,13 @@
 // single-threaded and reproducibly: events at equal timestamps fire in
 // scheduling order (FIFO), and no wall-clock time ever leaks in.
 //
+// Storage layout: closures live in a slab of reusable slots; the priority
+// queue holds only POD (time, sequence, slot, generation) keys. Popping the
+// queue therefore never copies a std::function, cancel() releases the
+// closure (and everything it captures) immediately rather than when the
+// timestamp is reached, and liveness is a generation compare instead of a
+// hash-set lookup per pop.
+//
 // Usage:
 //   Simulator sim;
 //   sim.schedule_after(Duration::seconds(1), [&] { ... });
@@ -15,7 +22,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "support/time.h"
@@ -43,8 +49,10 @@ class Simulator {
   /// Schedules `fn` to run `d` (>= 0) after the current time.
   TimerId schedule_after(Duration d, std::function<void()> fn);
 
-  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
-  /// id is a harmless no-op, which lets callers keep stale handles safely.
+  /// Cancels a pending event and releases its closure immediately (so
+  /// captured resources are freed at cancel time, not at the event's
+  /// timestamp). Cancelling an already-fired or already-cancelled id is a
+  /// harmless no-op, which lets callers keep stale handles safely.
   void cancel(TimerId id);
 
   /// True if the id refers to an event that has not yet fired or been
@@ -68,32 +76,53 @@ class Simulator {
   void stop() { stop_requested_ = true; }
 
   /// Number of scheduled-but-not-fired events.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return live_count_; }
+
+  /// Total events executed over this simulator's lifetime (perf metric).
+  std::uint64_t events_processed() const { return events_processed_; }
 
   /// Installs this simulator's clock as the logging time source for the
   /// duration of the object's life (used by examples).
   void attach_logger_time_source();
 
  private:
-  struct Event {
-    TimePoint at;
-    TimerId id;
+  // One reusable home for a scheduled closure. `gen` is bumped every time
+  // the slot is (re)allocated; a TimerId and a queue entry carry the
+  // generation they were issued with, so stale references are detected by a
+  // single compare.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
     std::function<void()> fn;
   };
+  // POD key in the priority queue; the closure stays in the slab.
+  struct QueueEntry {
+    TimePoint at;
+    std::uint64_t seq;  // global schedule order: FIFO tie-break at equal times
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      // min-heap on (time, id): equal-time events fire in schedule order.
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      // min-heap on (time, seq): equal-time events fire in schedule order.
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
 
-  void pop_cancelled();
+  static TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<TimerId>(slot) << 32) | gen;
+  }
+  const Slot* find_live(TimerId id) const;
+  void pop_dead();
 
   TimePoint now_ = TimePoint::origin();
-  TimerId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<TimerId> live_;  // ids scheduled and not cancelled/fired
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // indices of slots ready for reuse
+  std::size_t live_count_ = 0;
+  std::uint64_t events_processed_ = 0;
   bool stop_requested_ = false;
   bool logger_attached_ = false;
 };

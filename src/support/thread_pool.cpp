@@ -1,0 +1,104 @@
+#include "support/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "support/assert.h"
+
+namespace lm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  LM_REQUIRE(job != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    LM_REQUIRE(!stop_);
+    jobs_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++active_;
+    }
+    job();  // job exceptions are the submitter's contract to catch
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("LM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([shared, &fn, i] {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(shared->mu);
+      if (error && !shared->first_error) shared->first_error = error;
+      if (--shared->remaining == 0) shared->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->done_cv.wait(lock, [&] { return shared->remaining == 0; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
+}  // namespace lm

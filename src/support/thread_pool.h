@@ -1,0 +1,65 @@
+// A small fixed-size worker pool for embarrassingly-parallel work.
+//
+// The simulation engine itself is strictly single-threaded — determinism
+// comes from one event loop per Simulator. Parallelism in this codebase
+// therefore lives *between* simulations: every experiment is a sweep of
+// independent (scenario, seed) runs, and the pool shards those runs across
+// cores (see testbed/parallel_runner.h). No external dependencies: plain
+// std::thread workers draining a mutex/condvar-protected job queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1). The pool is usable
+  /// immediately and reusable after drains — submit/wait cycles can repeat.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Waits for queued jobs to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a job. Jobs start in submission order (completion order is up
+  /// to the scheduler). Must not be called after destruction begins.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Thread count to use when the caller expresses no preference: the
+  /// LM_THREADS environment variable if set to a positive integer, else
+  /// std::thread::hardware_concurrency(), else 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers when jobs arrive
+  std::condition_variable idle_cv_;  // wakes wait_idle when all is drained
+  std::deque<std::function<void()>> jobs_;
+  std::size_t active_ = 0;  // jobs currently executing
+  bool stop_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
+/// Every index runs even if earlier ones throw; the first exception (in
+/// index order of observation) is rethrown in the caller.
+void parallel_for_each(ThreadPool& pool, std::size_t n,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace lm

@@ -1,0 +1,10 @@
+#include "testbed/parallel_runner.h"
+
+namespace lm::testbed {
+
+ParallelRunner::ParallelRunner(std::size_t threads)
+    : pool_(threads == 0 ? ThreadPool::default_thread_count() : threads) {}
+
+std::size_t ParallelRunner::threads() const { return pool_.size(); }
+
+}  // namespace lm::testbed

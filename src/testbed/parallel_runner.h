@@ -1,0 +1,60 @@
+// Shards independent scenario runs across a worker pool.
+//
+// Every experiment in this repository is a sweep of self-contained
+// (scenario, seed) simulations: each run constructs its own Simulator,
+// Channel and Rng from an explicit seed and shares no mutable state with any
+// other run. That makes the sweep embarrassingly parallel — and, because
+// each run's result is a pure function of its inputs and results are
+// collected at their input index, the output vector is byte-identical
+// whether the sweep executes on 1 thread or 16.
+//
+// Usage:
+//   ParallelRunner runner;                    // LM_THREADS or hardware size
+//   auto results = runner.map<RunResult>(jobs.size(), [&](std::size_t i) {
+//     return run_scenario(jobs[i]);           // builds its own MeshScenario
+//   });
+//
+// Contract for job closures: construct every simulation object (scenario,
+// tracker, traffic, RNG) inside the closure, seeded explicitly; never touch
+// globals (the logger stays at its default level) or another job's state.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace lm::testbed {
+
+class ParallelRunner {
+ public:
+  /// `threads == 0` (the default) sizes the pool from
+  /// ThreadPool::default_thread_count() — the LM_THREADS environment
+  /// variable when set, else the hardware concurrency.
+  explicit ParallelRunner(std::size_t threads = 0);
+
+  std::size_t threads() const;
+
+  /// Runs fn(0) .. fn(count-1) across the pool; returns results in input
+  /// order regardless of completion order. Rethrows the first job exception
+  /// after every job has run.
+  template <typename Result, typename Fn>
+  std::vector<Result> map(std::size_t count, Fn&& fn) {
+    std::vector<Result> results(count);
+    parallel_for_each(pool_, count,
+                      [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// Convenience overload: one pre-built closure per run.
+  template <typename Result>
+  std::vector<Result> run(const std::vector<std::function<Result()>>& jobs) {
+    return map<Result>(jobs.size(), [&](std::size_t i) { return jobs[i](); });
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace lm::testbed

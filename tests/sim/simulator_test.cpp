@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "support/assert.h"
@@ -157,6 +158,54 @@ TEST(Simulator, PendingCountTracksQueue) {
   EXPECT_EQ(sim.pending(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelReleasesCapturedResourcesImmediately) {
+  // Regression: a cancelled event's closure used to stay alive inside the
+  // priority queue until its timestamp was reached, pinning everything it
+  // captured. cancel() must drop the closure on the spot.
+  Simulator sim;
+  auto payload = std::make_shared<int>(42);
+  const TimerId id =
+      sim.schedule_after(Duration::hours(24), [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  sim.cancel(id);
+  EXPECT_EQ(payload.use_count(), 1);  // released at cancel time, not at t+24h
+}
+
+TEST(Simulator, FiredEventReleasesItsClosure) {
+  Simulator sim;
+  auto payload = std::make_shared<int>(7);
+  sim.schedule_after(Duration::seconds(1), [payload] { (void)*payload; });
+  sim.run();
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(Simulator, StaleHandleOfReusedSlotIsNotPending) {
+  // After an event fires or is cancelled, its storage slot is recycled for
+  // the next event. The old TimerId must not alias the new occupant.
+  Simulator sim;
+  const TimerId a = sim.schedule_after(Duration::seconds(1), [] {});
+  sim.cancel(a);
+  const TimerId b = sim.schedule_after(Duration::seconds(2), [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.is_pending(a));
+  EXPECT_TRUE(sim.is_pending(b));
+  sim.cancel(a);  // stale cancel must not kill b
+  EXPECT_TRUE(sim.is_pending(b));
+  bool fired = false;
+  sim.cancel(b);
+  const TimerId c = sim.schedule_after(Duration::seconds(3), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(sim.is_pending(c));
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_after(Duration::seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
 }
 
 TEST(Simulator, ClockNeverGoesBackward) {

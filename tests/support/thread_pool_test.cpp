@@ -1,0 +1,146 @@
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lm {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ClampsZeroThreadsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  // With one worker the queue is FIFO, so execution order is submission
+  // order — the property parallel_for_each's index-addressed results build on.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  std::vector<int> expect(50);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, ReusableAfterDrain) {
+  // The pool must survive submit -> wait_idle cycles: benches run one sweep,
+  // aggregate, then shard the next sweep on the same pool.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing queued: must not deadlock
+}
+
+TEST(ThreadPool, RejectsNullJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 40; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // destructor joins after the queue empties
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  parallel_for_each(pool, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, ResultsLandAtTheirOwnIndex) {
+  // The sharded-sweep contract: each job writes results[i], so the output
+  // vector is identical regardless of thread count or completion order.
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::size_t> results(64, 0);
+    parallel_for_each(pool, results.size(),
+                      [&](std::size_t i) { results[i] = i * i; });
+    for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelForEach, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    parallel_for_each(pool, 32, [&](std::size_t i) {
+      if (i == 7) throw std::runtime_error("boom");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the job's exception to reach the caller";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Every other index still ran: one failure must not strand the sweep.
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(ParallelForEach, PoolRemainsUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_each(pool, 4,
+                        [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  parallel_for_each(pool, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelForEach, ZeroItemsIsANoOp) {
+  ThreadPool pool(2);
+  parallel_for_each(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lm
