@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json artifacts and flag perf regressions.
+
+Usage:
+  bench/compare.py BASELINE_DIR CURRENT_DIR [--threshold=0.15] [--all]
+
+Each directory holds the BENCH_<name>.json files written by
+`bench/run_all.sh --json` (one flat JSON object per bench: metric name ->
+number). The tool prints per-metric deltas for every bench present in both
+sets and exits 1 when any timing metric regressed by more than the
+threshold (relative).
+
+Regression direction is inferred from the metric name:
+  *wall_s, *_s        higher is worse (wall time)
+  *per_s*, *per_sec*  lower is worse (throughput)
+  everything else     informational only (counters, config echoes)
+
+--all also prints metrics that moved less than the threshold.
+
+Caveat: wall-clock numbers on a busy or single-core host jitter run to run
+(±35% observed for sub-second benches on the 1-core reference container),
+so confirm a flagged regression by re-running the bench alone
+(`bench/run_all.sh --json --only=<name>`) before acting on it; the
+deterministic behavior metrics (PDR, convergence, counters) never jitter —
+any delta there is a real behavior change.
+"""
+
+import json
+import os
+import sys
+
+THRESHOLD_DEFAULT = 0.15
+# Ignore wall-time deltas below this absolute floor: sub-100 ms differences
+# are process startup + scheduler granularity, not code speed.
+EPSILON_S = 0.1
+
+
+def load_dir(path):
+    benches = {}
+    try:
+        names = sorted(os.listdir(path))
+    except OSError as e:
+        sys.exit(f"cannot read {path}: {e}")
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        full = os.path.join(path, name)
+        try:
+            with open(full) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping unreadable {full}: {e}", file=sys.stderr)
+            continue
+        bench = data.get("name", name[len("BENCH_"):-len(".json")])
+        benches[bench] = {
+            k: v for k, v in data.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+    return benches
+
+
+def direction(metric):
+    """Returns 'time' (higher worse), 'rate' (lower worse) or None."""
+    # Rates before times: sim_s_per_wall_s is a throughput despite its
+    # trailing _s.
+    if "per_s" in metric or "per_sec" in metric or "_per_" in metric:
+        return "rate"
+    if metric.endswith("wall_s") or metric.endswith("_s"):
+        return "time"
+    return None
+
+
+def main(argv):
+    threshold = THRESHOLD_DEFAULT
+    show_all = False
+    dirs = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--all":
+            show_all = True
+        elif arg.startswith("--"):
+            sys.exit(f"unknown option {arg}\n{__doc__}")
+        else:
+            dirs.append(arg)
+    if len(dirs) != 2:
+        sys.exit(__doc__)
+
+    base, cur = load_dir(dirs[0]), load_dir(dirs[1])
+    common = sorted(set(base) & set(cur))
+    if not common:
+        sys.exit(f"no common benches between {dirs[0]} and {dirs[1]}")
+    for only, where in ((set(base) - set(cur), dirs[1]),
+                        (set(cur) - set(base), dirs[0])):
+        for bench in sorted(only):
+            print(f"note: {bench} missing from {where}")
+
+    regressions = []
+    for bench in common:
+        header_printed = False
+        for metric in sorted(set(base[bench]) & set(cur[bench])):
+            b, c = base[bench][metric], cur[bench][metric]
+            kind = direction(metric)
+            delta = c - b
+            rel = delta / b if b != 0 else (0.0 if c == 0 else float("inf"))
+            worse = ((kind == "time" and rel > threshold
+                      and abs(delta) > EPSILON_S) or
+                     (kind == "rate" and rel < -threshold))
+            improved = ((kind == "time" and rel < -threshold
+                         and abs(delta) > EPSILON_S) or
+                        (kind == "rate" and rel > threshold))
+            if not (worse or improved or show_all):
+                continue
+            if not header_printed:
+                print(f"=== {bench} ===")
+                header_printed = True
+            tag = "REGRESSION" if worse else ("improved" if improved else "")
+            print(f"  {metric:<44} {b:>12.4g} -> {c:>12.4g} "
+                  f"({rel:+8.1%}) {tag}")
+            if worse:
+                regressions.append((bench, metric, rel))
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond {threshold:.0%}:")
+        for bench, metric, rel in regressions:
+            print(f"  {bench}.{metric}: {rel:+.1%}")
+        return 1
+    print(f"no regressions beyond {threshold:.0%} "
+          f"across {len(common)} bench(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

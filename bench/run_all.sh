@@ -41,6 +41,7 @@ fi
 # runs without the forwarded Reporter flags.
 REPORTER_BENCHES=(
   bench_engine
+  bench_scale
   bench_convergence
   bench_density
   bench_sf_tradeoff

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer gate for the whole library.
+#
+# Configures a dedicated build tree with -DLM_SANITIZE=address,undefined,
+# builds the full test suite, and runs it under ctest. Any heap error,
+# leak, or UB trap fails the script (non-zero exit), so this is suitable
+# as a CI step alongside scripts/check_tsan.sh:
+#
+#   scripts/check_asan.sh [--build-dir=DIR]
+set -euo pipefail
+
+BUILD_DIR=build-asan
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#--build-dir=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$BUILD_DIR" -S . -DLM_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error turns the first UB report into a failure instead of a log
+# line; detect_leaks catches forgotten unregister paths in the testbed.
+ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+echo "ASan+UBSan: full test suite clean"

@@ -20,14 +20,25 @@ RoutingTable::RoutingTable(Address self, Duration route_timeout,
 }
 
 RouteEntry* RoutingTable::find(Address destination) {
-  for (RouteEntry& e : entries_) {
-    if (e.destination == destination) return &e;
-  }
-  return nullptr;
+  const auto it = by_destination_.find(destination);
+  if (it == by_destination_.end()) return nullptr;
+  return &entries_[it->second];
 }
 
 const RouteEntry* RoutingTable::find(Address destination) const {
   return const_cast<RoutingTable*>(this)->find(destination);
+}
+
+void RoutingTable::append(RouteEntry entry) {
+  by_destination_.emplace(entry.destination, entries_.size());
+  entries_.push_back(entry);
+}
+
+void RoutingTable::reindex() {
+  by_destination_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    by_destination_.emplace(entries_[i].destination, i);
+  }
 }
 
 bool RoutingTable::apply_beacon(Address neighbor,
@@ -48,7 +59,7 @@ bool RoutingTable::apply_beacon(Address neighbor,
     }
     direct->expires_at = deadline;
   } else {
-    entries_.push_back(RouteEntry{neighbor, neighbor, 1, roles::kNone, deadline});
+    append(RouteEntry{neighbor, neighbor, 1, roles::kNone, deadline});
     changed = true;
   }
 
@@ -68,8 +79,7 @@ bool RoutingTable::apply_beacon(Address neighbor,
     RouteEntry* cur = find(adv.address);
     if (cur == nullptr) {
       if (candidate < max_metric_) {
-        entries_.push_back(
-            RouteEntry{adv.address, neighbor, candidate, adv.role, deadline});
+        append(RouteEntry{adv.address, neighbor, candidate, adv.role, deadline});
         changed = true;
       }
       continue;
@@ -81,6 +91,7 @@ bool RoutingTable::apply_beacon(Address neighbor,
         std::erase_if(entries_, [&](const RouteEntry& e) {
           return e.destination == adv.address;
         });
+        reindex();
         changed = true;
         continue;
       }
@@ -108,18 +119,21 @@ std::size_t RoutingTable::expire(TimePoint now) {
   // Direct casualties: hold timer lapsed.
   std::size_t removed = std::erase_if(
       entries_, [now](const RouteEntry& e) { return e.expires_at <= now; });
+  if (removed == 0) return 0;
+  reindex();
   // Cascade: a route is only usable while its next hop is a live neighbor.
   // (Entries via a dead neighbor stop being refreshed and would lapse on
   // their own within one timeout; removing them now keeps the table
   // internally consistent — next_hop() never returns a vanished neighbor.)
-  if (removed > 0) {
-    for (;;) {
-      const std::size_t cascade = std::erase_if(entries_, [this](const RouteEntry& e) {
-        return e.via != e.destination && find(e.via) == nullptr;
-      });
-      if (cascade == 0) break;
-      removed += cascade;
-    }
+  // Each pass tests membership against the index snapshot from before the
+  // pass (the vector is in flux inside erase_if), iterating to fixed point.
+  for (;;) {
+    const std::size_t cascade = std::erase_if(entries_, [this](const RouteEntry& e) {
+      return e.via != e.destination && !by_destination_.contains(e.via);
+    });
+    reindex();
+    if (cascade == 0) break;
+    removed += cascade;
   }
   return removed;
 }
@@ -224,6 +238,7 @@ bool RoutingTable::restore(std::span<const std::uint8_t> snapshot, TimePoint now
   }
   if (!r.exhausted()) return false;
   entries_ = std::move(restored);
+  reindex();
   return true;
 }
 

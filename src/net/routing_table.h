@@ -15,6 +15,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/address.h"
@@ -104,12 +105,18 @@ class RoutingTable {
  private:
   RouteEntry* find(Address destination);
   const RouteEntry* find(Address destination) const;
+  void append(RouteEntry entry);
+  void reindex();
 
   Address self_;
   Duration route_timeout_;
   std::uint8_t max_metric_;
   Role own_role_;
-  std::vector<RouteEntry> entries_;  // small tables; linear scan is optimal
+  std::vector<RouteEntry> entries_;
+  // destination -> index into entries_. Forwarding does one next_hop()
+  // lookup per data packet, so the hot path is O(1); the index is rebuilt
+  // after removals (rare: expiry and withdrawals only).
+  std::unordered_map<Address, std::size_t> by_destination_;
 };
 
 }  // namespace lm::net

@@ -12,6 +12,18 @@ constexpr double kSpeedOfLight = 299'792'458.0;
 constexpr double kMinDistanceM = 1.0;
 }  // namespace
 
+double PathLossModel::max_range_m(double max_loss_db) const {
+  if (path_loss_db(kMinDistanceM) > max_loss_db) return 0.0;
+  if (path_loss_db(kMaxRangeCapM) <= max_loss_db) return kMaxRangeCapM;
+  double lo = kMinDistanceM;  // invariant: loss(lo) <= budget < loss(hi)
+  double hi = kMaxRangeCapM;
+  for (int i = 0; i < 200 && hi - lo > 1e-3; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (path_loss_db(mid) <= max_loss_db ? lo : hi) = mid;
+  }
+  return lo;
+}
+
 FreeSpacePathLoss::FreeSpacePathLoss(double frequency_hz)
     : frequency_hz_(frequency_hz) {
   LM_REQUIRE(frequency_hz > 0.0);
@@ -21,6 +33,15 @@ double FreeSpacePathLoss::path_loss_db(double distance_m) const {
   const double d = std::max(distance_m, kMinDistanceM);
   // Friis: 20 log10(4 * pi * d * f / c).
   return 20.0 * std::log10(4.0 * M_PI * d * frequency_hz_ / kSpeedOfLight);
+}
+
+double FreeSpacePathLoss::max_range_m(double max_loss_db) const {
+  // Invert Friis: d = 10^(L/20) * c / (4 * pi * f).
+  const double d = std::pow(10.0, max_loss_db / 20.0) * kSpeedOfLight /
+                   (4.0 * M_PI * frequency_hz_);
+  if (d < kMinDistanceM) return path_loss_db(kMinDistanceM) <= max_loss_db
+                                    ? kMinDistanceM : 0.0;
+  return std::min(d, kMaxRangeCapM);
 }
 
 LogDistancePathLoss::LogDistancePathLoss(double exponent,
@@ -37,6 +58,16 @@ double LogDistancePathLoss::path_loss_db(double distance_m) const {
   const double d = std::max(distance_m, kMinDistanceM);
   return reference_loss_db_ +
          10.0 * exponent_ * std::log10(d / reference_distance_m_);
+}
+
+double LogDistancePathLoss::max_range_m(double max_loss_db) const {
+  // Invert PL(d) = L0 + 10 n log10(d / d0): d = d0 * 10^((L - L0) / (10 n)).
+  const double d = reference_distance_m_ *
+                   std::pow(10.0, (max_loss_db - reference_loss_db_) /
+                                      (10.0 * exponent_));
+  if (d < kMinDistanceM) return path_loss_db(kMinDistanceM) <= max_loss_db
+                                    ? kMinDistanceM : 0.0;
+  return std::min(d, kMaxRangeCapM);
 }
 
 std::unique_ptr<PathLossModel> make_free_space(double frequency_hz) {

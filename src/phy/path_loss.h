@@ -24,6 +24,20 @@ class PathLossModel {
   /// Mean path loss (dB, >= 0) at `distance` meters; distance is clamped to
   /// a minimum of 1 m so co-located radios do not produce -inf.
   virtual double path_loss_db(double distance_m) const = 0;
+
+  /// Largest distance (m) whose mean path loss does not exceed
+  /// `max_loss_db` — the inverse of path_loss_db, used to turn a link
+  /// budget into a culling radius for the channel's spatial index. Models
+  /// are monotone in distance, so the base implementation bisects;
+  /// concrete models override with the closed form. Returns 0 when even
+  /// the minimum distance exceeds the budget, and `kMaxRangeCapM` when the
+  /// budget is never exhausted within that cap.
+  virtual double max_range_m(double max_loss_db) const;
+
+  /// Upper bound on any returned range (40,000 km: nothing on a planetary
+  /// testbed is farther). Keeps the bisection finite for models whose loss
+  /// plateaus.
+  static constexpr double kMaxRangeCapM = 4.0e7;
 };
 
 /// Free-space (Friis) path loss at the given carrier frequency.
@@ -31,6 +45,7 @@ class FreeSpacePathLoss final : public PathLossModel {
  public:
   explicit FreeSpacePathLoss(double frequency_hz = 868e6);
   double path_loss_db(double distance_m) const override;
+  double max_range_m(double max_loss_db) const override;
 
  private:
   double frequency_hz_;
@@ -46,6 +61,7 @@ class LogDistancePathLoss final : public PathLossModel {
   LogDistancePathLoss(double exponent = 3.0, double reference_loss_db = 40.0,
                       double reference_distance_m = 1.0);
   double path_loss_db(double distance_m) const override;
+  double max_range_m(double max_loss_db) const override;
 
   double exponent() const { return exponent_; }
 

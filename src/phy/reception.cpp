@@ -1,5 +1,6 @@
 #include "phy/reception.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.h"
@@ -30,6 +31,27 @@ double sir_threshold_db(SpreadingFactor signal_sf, SpreadingFactor interferer_sf
   const int col = sf_value(interferer_sf) - 7;
   LM_ASSERT(row >= 0 && row < 6 && col >= 0 && col < 6);
   return kMatrix[row][col];
+}
+
+double max_sir_threshold_db(SpreadingFactor signal_sf) {
+  double worst = -1e9;
+  for (int sf = 7; sf <= 12; ++sf) {
+    worst = std::max(worst, sir_threshold_db(signal_sf,
+                                             static_cast<SpreadingFactor>(sf)));
+  }
+  return worst;
+}
+
+double min_sensitivity_dbm() {
+  double floor = 0.0;
+  for (int sf = 7; sf <= 12; ++sf) {
+    for (int bw = 0; bw <= 2; ++bw) {
+      floor = std::min(floor,
+                       sensitivity_dbm(static_cast<SpreadingFactor>(sf),
+                                       static_cast<Bandwidth>(bw)));
+    }
+  }
+  return floor;
 }
 
 double decode_probability(double snr, SpreadingFactor sf) {

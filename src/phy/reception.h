@@ -32,6 +32,17 @@ double snr_db(double rssi_dbm, Bandwidth bw, double noise_figure_db = 6.0);
 /// entries are negative (quasi-orthogonality rejection).
 double sir_threshold_db(SpreadingFactor signal_sf, SpreadingFactor interferer_sf);
 
+/// Largest SIR threshold a frame at `signal_sf` faces across all interferer
+/// SFs (the co-SF capture threshold in practice). An interferer weaker than
+/// signal_rssi - this value can never destroy the frame, which is the bound
+/// the channel's spatial index uses to cull interference candidates.
+double max_sir_threshold_db(SpreadingFactor signal_sf);
+
+/// The most forgiving receiver sensitivity across all SF/BW combinations
+/// (SF12 at 125 kHz). Any frame below this at a receiver is undecodable in
+/// every configuration — the global floor for carrier-sense culling.
+double min_sensitivity_dbm();
+
 /// Probability that an interference-free frame decodes, given its SNR.
 ///
 /// Deterministic thresholding (decode iff SNR >= floor) makes links binary

@@ -1,6 +1,7 @@
 #include "radio/channel.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "phy/airtime.h"
 #include "phy/reception.h"
@@ -19,6 +20,24 @@ std::pair<RadioId, RadioId> link_key(RadioId a, RadioId b) {
 std::uint64_t directed_key(RadioId tx, RadioId rx) {
   return (static_cast<std::uint64_t>(tx) << 32) | rx;
 }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Stream tags keeping shadowing and fading draws on disjoint substreams.
+constexpr std::uint64_t kShadowingTag = 0x5AD0'00D1;
+constexpr std::uint64_t kFadingTag = 0xFAD3'00D2;
+
+// Shadowing/fading samples are clamped to ±4 sigma. This bounds the
+// strongest possible stochastic boost, which is what lets the spatial index
+// derive a hard maximum decodable range (P(|z| > 4) ~ 6e-5 of the
+// distribution is folded onto the clamp — far below every other modeling
+// error in a log-normal channel).
+constexpr double kSigmaClamp = 4.0;
 
 }  // namespace
 
@@ -40,27 +59,96 @@ PropagationConfig PropagationConfig::free_space() {
 
 PropagationConfig PropagationConfig::ideal() { return free_space(); }
 
-Channel::Channel(sim::Simulator& sim, PropagationConfig config, std::uint64_t seed)
-    : sim_(sim), config_(std::move(config)), rng_(seed) {
+Channel::Channel(sim::Simulator& sim, PropagationConfig config,
+                 std::uint64_t seed)
+    : Channel(sim, std::move(config), ChannelConfig{}, seed) {}
+
+Channel::Channel(sim::Simulator& sim, PropagationConfig config,
+                 ChannelConfig policy, std::uint64_t seed)
+    : sim_(sim),
+      config_(std::move(config)),
+      policy_(policy),
+      seed_(seed),
+      rng_(seed) {
   LM_REQUIRE(config_.path_loss != nullptr);
   LM_REQUIRE(config_.shadowing_sigma_db >= 0.0);
   LM_REQUIRE(config_.fading_sigma_db >= 0.0);
+  LM_REQUIRE(policy_.cell_size_m >= 0.0);
 }
 
 Channel::~Channel() = default;
 
 void Channel::register_radio(VirtualRadio& radio) {
-  for (const VirtualRadio* r : radios_) {
-    LM_REQUIRE(r->id() != radio.id());
-  }
+  LM_REQUIRE(!by_id_.contains(radio.id()));
   radios_.push_back(&radio);
+  by_id_.emplace(radio.id(), std::pair{&radio, next_ordinal_++});
+  max_radio_eirp_dbm_ =
+      std::max(max_radio_eirp_dbm_,
+               radio.config().tx_power_dbm + radio.config().antenna_gain_db);
+  max_rx_gain_db_ = std::max(max_rx_gain_db_, radio.config().antenna_gain_db);
+  min_mod_sensitivity_dbm_ = std::min(
+      min_mod_sensitivity_dbm_,
+      phy::sensitivity_dbm(radio.modulation().sf, radio.modulation().bw));
+  if (grids_ready_) radio_grid_.insert(&radio, radio.position());
 }
 
 void Channel::unregister_radio(VirtualRadio& radio) {
   std::erase(radios_, &radio);
+  if (by_id_.erase(radio.id()) > 0 && grids_ready_) {
+    radio_grid_.remove(&radio, radio.position());
+  }
+}
+
+void Channel::radio_moved(VirtualRadio& radio, const phy::Position& old_position) {
+  if (grids_ready_) radio_grid_.move(&radio, old_position, radio.position());
+}
+
+double Channel::derive_cell_size_m() const {
+  // The widest query any frame can issue: the interference-relevance radius
+  // for the strongest registered transmitter against the most sensitive
+  // modulation in play, with every stochastic term at its clamp and the
+  // 6 dB co-SF capture allowance. Half of it balances bucket occupancy
+  // against the number of cells a query touches.
+  const double margin_db = kSigmaClamp * (config_.shadowing_sigma_db +
+                                          config_.fading_sigma_db);
+  const double budget_db = max_radio_eirp_dbm_ + max_rx_gain_db_ + margin_db -
+                           (min_mod_sensitivity_dbm_ - 6.0);
+  const double range = config_.path_loss->max_range_m(budget_db);
+  return std::max(range / 2.0, 1.0);
+}
+
+void Channel::ensure_grids() const {
+  if (!policy_.spatial_index || grids_ready_) return;
+  const double cell =
+      policy_.cell_size_m > 0.0 ? policy_.cell_size_m : derive_cell_size_m();
+  radio_grid_.reset(cell);
+  for (VirtualRadio* r : radios_) radio_grid_.insert(r, r->position());
+  tx_grid_.reset(cell);
+  for (const Transmission& t : active_) {
+    tx_grid_.insert(const_cast<Transmission*>(&t), t.tx_pos);
+  }
+  grids_ready_ = true;
+}
+
+double Channel::decode_radius_m(const Transmission& t) const {
+  const double margin_db = kSigmaClamp * (config_.shadowing_sigma_db +
+                                          config_.fading_sigma_db);
+  const double budget_db = t.tx_power_dbm + t.antenna_gain_db +
+                           max_rx_gain_db_ + margin_db -
+                           phy::sensitivity_dbm(t.mod.sf, t.mod.bw);
+  return config_.path_loss->max_range_m(budget_db);
+}
+
+double Channel::derived_normal_db(std::uint64_t tag, std::uint64_t a,
+                                  std::uint64_t b, double sigma) const {
+  if (sigma == 0.0) return 0.0;
+  Rng stream(splitmix64(seed_ ^ splitmix64(tag ^ splitmix64(a ^ splitmix64(b)))));
+  return std::clamp(stream.normal(0.0, sigma), -kSigmaClamp * sigma,
+                    kSigmaClamp * sigma);
 }
 
 void Channel::begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame) {
+  ensure_grids();
   Transmission t;
   t.seq = next_seq_++;
   t.tx_id = radio.id();
@@ -77,33 +165,56 @@ void Channel::begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame) {
   stats_.frames_transmitted++;
 
   const std::uint64_t seq = t.seq;
-  in_flight_.push_back(std::move(t));
-  sim_.schedule_at(in_flight_.back().end, [this, seq] { finish_tx(seq); });
+  active_.push_back(std::move(t));
+  ++in_flight_n_;
+  if (grids_ready_) tx_grid_.insert(&active_.back(), active_.back().tx_pos);
+  sim_.schedule_at(active_.back().end, [this, seq] { finish_tx(seq); });
 }
 
 void Channel::finish_tx(std::uint64_t seq) {
-  auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+  auto it = std::find_if(active_.begin(), active_.end(),
                          [seq](const Transmission& t) { return t.seq == seq; });
-  LM_ASSERT(it != in_flight_.end());
-  Transmission t = std::move(*it);
-  in_flight_.erase(it);
+  LM_ASSERT(it != active_.end() && !it->ended);
+  it->ended = true;
+  --in_flight_n_;
+  Transmission& frame = *it;  // deque: address stable until pruned
 
   // Return the transmitter to Standby first so its stack can re-arm; a frame
   // it starts *now* cannot overlap the one that just ended.
-  for (VirtualRadio* r : radios_) {
-    if (r->id() == t.tx_id) {
-      r->finish_tx();
-      break;
-    }
+  if (const auto tx_it = by_id_.find(frame.tx_id); tx_it != by_id_.end()) {
+    tx_it->second.first->finish_tx();
   }
 
-  // Snapshot the radio list: deliveries may trigger immediate responses, and
-  // those must not invalidate this iteration.
-  const std::vector<VirtualRadio*> receivers = radios_;
-  history_.push_back(std::move(t));
-  Transmission& frame = history_.back();
-  for (VirtualRadio* rx : receivers) {
-    if (rx->id() != frame.tx_id) evaluate_reception(frame, *rx);
+  if (policy_.spatial_index) {
+    ensure_grids();
+    // The candidate set — everything inside the provable maximum decodable
+    // range — is the snapshot: deliveries may trigger immediate responses,
+    // and those must not invalidate this iteration. Receivers outside it
+    // are tallied in bulk; they could not have decoded the frame.
+    const std::size_t others_total = radios_.size() - 1;
+    candidates_.clear();
+    radio_grid_.for_each_within(
+        frame.tx_pos, decode_radius_m(frame), [&](VirtualRadio* r) {
+          candidates_.emplace_back(by_id_.find(r->id())->second.second, r);
+        });
+    // Registration order = brute-force evaluation order; keeps the
+    // sequential extra-loss/decode RNG draws bit-identical to brute force.
+    std::sort(candidates_.begin(), candidates_.end());
+    std::size_t others_seen = 0;
+    for (auto& [ordinal, rx] : candidates_) {
+      (void)ordinal;
+      if (rx->id() == frame.tx_id) continue;
+      ++others_seen;
+      evaluate_reception(frame, *rx);
+    }
+    stats_.dropped_out_of_range += others_total - others_seen;
+  } else {
+    // Snapshot the radio list: deliveries may trigger immediate responses,
+    // and those must not invalidate this iteration.
+    const std::vector<VirtualRadio*> receivers = radios_;
+    for (VirtualRadio* rx : receivers) {
+      if (rx->id() != frame.tx_id) evaluate_reception(frame, *rx);
+    }
   }
   prune_history();
 }
@@ -113,7 +224,14 @@ double Channel::link_shadowing_db(RadioId a, RadioId b) const {
   const auto key = link_key(a, b);
   auto it = shadowing_.find(key);
   if (it == shadowing_.end()) {
-    it = shadowing_.emplace(key, rng_.normal(0.0, config_.shadowing_sigma_db)).first;
+    // Derived (not sequential) draw: the value depends only on the link and
+    // the channel seed, so whether or when the spatial index visits this
+    // link cannot shift any other draw.
+    it = shadowing_
+             .emplace(key, derived_normal_db(kShadowingTag, key.first,
+                                             key.second,
+                                             config_.shadowing_sigma_db))
+             .first;
   }
   return it->second;
 }
@@ -146,8 +264,8 @@ double Channel::rssi_with_fading(Transmission& t, const VirtualRadio& rx) {
     auto it = t.fading_db.find(rx.id());
     if (it == t.fading_db.end()) {
       it = t.fading_db
-               .emplace(rx.id(),
-                        phy::sample_fading_db(rng_, config_.fading_sigma_db))
+               .emplace(rx.id(), derived_normal_db(kFadingTag, t.seq, rx.id(),
+                                                   config_.fading_sigma_db))
                .first;
     }
     fading = it->second;
@@ -172,14 +290,14 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
 
   // Cheap state checks before any propagation math: a radio that was not in
   // continuous RX for the whole frame cannot decode it no matter the RSSI,
-  // so skip the path-loss/fading work (and the fading RNG draw) entirely.
+  // so skip the path-loss/fading work entirely.
   if (!rx.listening_since(t.start)) {
     stats_.dropped_not_listening++;
     return;
   }
 
   // Find the (mutable) transmission record for fading caching. `t` lives in
-  // history_, so this const_cast only unlocks the cache field.
+  // active_, so this const_cast only unlocks the cache field.
   auto& frame = const_cast<Transmission&>(t);
   const double rssi = rssi_with_fading(frame, rx);
   if (rssi < phy::sensitivity_dbm(t.mod.sf, t.mod.bw)) {
@@ -211,17 +329,32 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
     return rssi - o_rssi < phy::sir_threshold_db(t.mod.sf, o.mod.sf);
   };
 
-  for (Transmission& o : in_flight_) {
-    if (collides_with(o)) {
-      stats_.dropped_collision++;
-      return;
+  bool collided = false;
+  if (policy_.spatial_index) {
+    // Noise-relevance culling: an interferer weaker at rx than
+    // rssi - max SIR threshold can never destroy this frame, so only the
+    // co-located slice of the traffic is touched. Collision is an
+    // existence check with no sequential RNG, so visit order is free.
+    const double floor_dbm = rssi - phy::max_sir_threshold_db(t.mod.sf);
+    const double margin_db = kSigmaClamp * (config_.shadowing_sigma_db +
+                                            config_.fading_sigma_db);
+    const double radius = config_.path_loss->max_range_m(
+        max_radio_eirp_dbm_ + rx.config().antenna_gain_db + margin_db -
+        floor_dbm);
+    tx_grid_.for_each_within(rx.position(), radius, [&](Transmission* o) {
+      if (!collided && collides_with(*o)) collided = true;
+    });
+  } else {
+    for (Transmission& o : active_) {
+      if (collides_with(o)) {
+        collided = true;
+        break;
+      }
     }
   }
-  for (Transmission& o : history_) {
-    if (collides_with(o)) {
-      stats_.dropped_collision++;
-      return;
-    }
+  if (collided) {
+    stats_.dropped_collision++;
+    return;
   }
 
   const double snr = phy::snr_db(rssi, t.mod.bw, config_.noise_figure_db);
@@ -254,20 +387,36 @@ bool Channel::detectable_by(const Transmission& t,
 }
 
 bool Channel::carrier_sensed_by(const VirtualRadio& listener) const {
-  for (const Transmission& t : in_flight_) {
-    if (detectable_by(t, listener)) return true;
-  }
-  return false;
+  return carrier_sensed_during(listener, sim_.now());
 }
 
 bool Channel::carrier_sensed_during(const VirtualRadio& listener,
                                     TimePoint since) const {
-  // Everything in in_flight_ started before now and is still on the air,
-  // so it overlaps [since, now] by construction.
-  if (carrier_sensed_by(listener)) return true;
-  // A short frame may have started *and* ended within the window.
-  for (const Transmission& t : history_) {
-    if (t.end > since && detectable_by(t, listener)) return true;
+  // On-air transmissions overlap [since, now] by construction; an ended one
+  // only counts when it was still on the air after `since`.
+  auto in_window = [&](const Transmission& t) {
+    return !t.ended || t.end > since;
+  };
+  if (policy_.spatial_index) {
+    ensure_grids();
+    // Detection needs mean RSSI (no fading) at or above the listener-SF
+    // sensitivity; the shadowing clamp bounds the reachable distance.
+    const double radius = config_.path_loss->max_range_m(
+        max_radio_eirp_dbm_ + listener.config().antenna_gain_db +
+        kSigmaClamp * config_.shadowing_sigma_db -
+        phy::sensitivity_dbm(listener.modulation().sf,
+                             listener.modulation().bw));
+    bool sensed = false;
+    tx_grid_.for_each_within(
+        listener.position(), radius, [&](Transmission* t) {
+          if (!sensed && in_window(*t) && detectable_by(*t, listener)) {
+            sensed = true;
+          }
+        });
+    return sensed;
+  }
+  for (const Transmission& t : active_) {
+    if (in_window(t) && detectable_by(t, listener)) return true;
   }
   return false;
 }
@@ -322,10 +471,14 @@ void Channel::prune_history() {
   // a record only overlaps its vulnerable window if it ended after the
   // frame's start), or as a carrier for a CAD window (which is always shorter
   // than any same-SF frame's airtime). Both bounds retire anything that
-  // ended more than one longest-frame-airtime ago.
+  // ended more than one longest-frame-airtime ago. An on-air frame at the
+  // front cannot block anything prunable behind it: everything scheduled
+  // after it started inside the horizon too.
   const TimePoint horizon = sim_.now() - longest_airtime_;
-  while (!history_.empty() && history_.front().end < horizon) {
-    history_.pop_front();
+  while (!active_.empty() && active_.front().ended &&
+         active_.front().end < horizon) {
+    if (grids_ready_) tx_grid_.remove(&active_.front(), active_.front().tx_pos);
+    active_.pop_front();
   }
 }
 

@@ -22,11 +22,13 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "phy/geometry.h"
 #include "phy/path_loss.h"
 #include "radio/radio_types.h"
+#include "radio/spatial_index.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -50,6 +52,25 @@ struct PropagationConfig {
   static PropagationConfig ideal();      // free space, deterministic decode
 };
 
+/// Delivery-policy knobs, distinct from the physics in PropagationConfig.
+///
+/// With `spatial_index` on (the default), the channel buckets radios and
+/// transmissions into a uniform grid whose cell size derives from the link
+/// budget, and each frame is only evaluated against receivers inside its
+/// maximum decodable range (interference inside a wider noise-relevance
+/// radius). Culling is provably conservative — shadowing and fading draws
+/// are truncated at ±4 sigma and per-link/per-frame keyed, so indexed and
+/// brute-force paths produce bit-identical deliveries, collisions and
+/// RSSI/SNR — but the per-receiver drop counters attribute culled receivers
+/// to `dropped_out_of_range` instead of walking them individually. Disable
+/// for the O(N^2) brute-force sweep (reference semantics, tiny meshes).
+struct ChannelConfig {
+  bool spatial_index = true;
+  /// Grid cell edge in meters; 0 derives it from the registered radios'
+  /// link budget (half the widest interference-relevant range).
+  double cell_size_m = 0.0;
+};
+
 /// Counters describing the fate of every reception opportunity.
 struct ChannelStats {
   std::uint64_t frames_transmitted = 0;
@@ -60,11 +81,18 @@ struct ChannelStats {
   std::uint64_t dropped_snr = 0;             // interference-free decode failed
   std::uint64_t dropped_collision = 0;       // lost to an overlapping frame
   std::uint64_t dropped_modulation_mismatch = 0;
+  /// Reception opportunities culled by the spatial index: receivers outside
+  /// the frame's maximum decodable range, counted in bulk instead of being
+  /// walked individually (brute force attributes these to the per-receiver
+  /// buckets above). Always 0 with ChannelConfig::spatial_index == false.
+  std::uint64_t dropped_out_of_range = 0;
 };
 
 class Channel {
  public:
   Channel(sim::Simulator& sim, PropagationConfig config, std::uint64_t seed);
+  Channel(sim::Simulator& sim, PropagationConfig config, ChannelConfig policy,
+          std::uint64_t seed);
   ~Channel();
 
   Channel(const Channel&) = delete;
@@ -73,6 +101,9 @@ class Channel {
   // -- Radio registry (called by VirtualRadio) ------------------------------
   void register_radio(VirtualRadio& radio);
   void unregister_radio(VirtualRadio& radio);
+  /// Re-buckets a moved radio in the spatial index (called by
+  /// VirtualRadio::set_position with the pre-move position).
+  void radio_moved(VirtualRadio& radio, const phy::Position& old_position);
 
   /// Starts a transmission. Called by VirtualRadio::transmit after it has
   /// entered the Tx state; the channel schedules the end-of-frame event and
@@ -112,7 +143,9 @@ class Channel {
   /// Transmissions currently on the air. Reception opportunities for these
   /// frames have not been decided yet, so accounting identities over
   /// stats() must exclude them.
-  std::size_t in_flight_count() const { return in_flight_.size(); }
+  std::size_t in_flight_count() const { return in_flight_n_; }
+
+  const ChannelConfig& policy() const { return policy_; }
 
   sim::Simulator& simulator() { return sim_; }
 
@@ -128,7 +161,8 @@ class Channel {
     std::vector<std::uint8_t> frame;
     TimePoint start;
     TimePoint end;
-    // Per-receiver fading, sampled once per (frame, receiver) pair so that
+    bool ended = false;  // left the air; kept around for overlap checks
+    // Per-receiver fading, derived once per (frame, receiver) pair so that
     // repeated queries (signal vs interference roles) agree.
     std::map<RadioId, double> fading_db;
   };
@@ -154,12 +188,32 @@ class Channel {
   double mean_rssi_from(const Transmission& t, const VirtualRadio& rx) const;
   void prune_history();
 
+  // -- Spatial-index internals ----------------------------------------------
+  /// Builds both grids on first use (cell size frozen then); incremental
+  /// updates keep them fresh afterwards. Const because queries are
+  /// logically read-only; the grids are caches.
+  void ensure_grids() const;
+  double derive_cell_size_m() const;
+  /// Radius beyond which `t` is provably undecodable by any receiver, even
+  /// with every stochastic term at its +4-sigma clamp.
+  double decode_radius_m(const Transmission& t) const;
+  /// Truncated (±4 sigma) zero-mean normal derived from (tag, a, b) — the
+  /// same value regardless of evaluation order, which is what makes culling
+  /// RNG-transparent.
+  double derived_normal_db(std::uint64_t tag, std::uint64_t a, std::uint64_t b,
+                           double sigma) const;
+
   sim::Simulator& sim_;
   PropagationConfig config_;
+  ChannelConfig policy_;
+  const std::uint64_t seed_;
   mutable Rng rng_;
   std::vector<VirtualRadio*> radios_;
-  std::vector<Transmission> in_flight_;
-  std::deque<Transmission> history_;  // recently-ended, kept for overlap checks
+  // All transmissions still relevant: on the air (`!ended`) or recently
+  // ended, kept for overlap checks. Deque gives stable addresses, so the
+  // transmission grid can hold pointers.
+  std::deque<Transmission> active_;
+  std::size_t in_flight_n_ = 0;
   mutable std::map<std::pair<RadioId, RadioId>, double> shadowing_;
   mutable std::unordered_map<std::uint64_t, LinkLoss> link_loss_;  // (tx<<32)|rx
   std::map<std::pair<RadioId, RadioId>, double> extra_loss_;
@@ -167,6 +221,21 @@ class Channel {
   ChannelStats stats_;
   std::uint64_t next_seq_ = 1;
   Duration longest_airtime_;  // longest frame seen; bounds the history scan
+
+  // Spatial index state. Registration-order ordinals make the indexed
+  // delivery sweep visit candidates in exactly the brute-force order, so
+  // the sequential RNG draws (extra-loss, decode) line up bit-for-bit.
+  mutable SpatialGrid<VirtualRadio> radio_grid_;
+  mutable SpatialGrid<Transmission> tx_grid_;
+  mutable bool grids_ready_ = false;
+  std::unordered_map<RadioId, std::pair<VirtualRadio*, std::uint64_t>> by_id_;
+  std::uint64_t next_ordinal_ = 0;
+  // Monotone link-budget maxima over every radio ever registered; shrinking
+  // them on unregister is never needed for correctness (only query cost).
+  double max_radio_eirp_dbm_ = -300.0;
+  double max_rx_gain_db_ = 0.0;
+  double min_mod_sensitivity_dbm_ = 0.0;
+  mutable std::vector<std::pair<std::uint64_t, VirtualRadio*>> candidates_;
 };
 
 }  // namespace lm::radio

@@ -1,0 +1,135 @@
+// Uniform-grid spatial index for the channel's delivery and interference
+// culling.
+//
+// Items (radios, transmissions) are bucketed by their position into square
+// cells of a fixed size chosen once from the link budget (the maximum
+// decodable/interference-relevant range). A range query visits only the
+// cells intersecting the query disc, so finding "everything that could
+// possibly hear this frame" costs O(candidates) instead of O(N).
+//
+// The grid is purely an over-approximation device: queries may yield items
+// slightly outside the radius (callers re-apply the exact physics), but
+// never miss one inside it. Correctness therefore does not depend on the
+// cell size — only query cost does.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/geometry.h"
+#include "support/assert.h"
+
+namespace lm::radio {
+
+template <typename T>
+class SpatialGrid {
+ public:
+  /// Clears the grid and fixes the cell edge length (> 0).
+  void reset(double cell_size_m) {
+    LM_REQUIRE(cell_size_m > 0.0);
+    cell_size_m_ = cell_size_m;
+    cells_.clear();
+    size_ = 0;
+  }
+
+  bool initialized() const { return cell_size_m_ > 0.0; }
+  double cell_size_m() const { return cell_size_m_; }
+  std::size_t size() const { return size_; }
+
+  void insert(T* item, const phy::Position& pos) {
+    cells_[key_of(pos)].push_back(item);
+    ++size_;
+  }
+
+  void remove(T* item, const phy::Position& pos) {
+    auto it = cells_.find(key_of(pos));
+    LM_ASSERT(it != cells_.end());
+    auto& bucket = it->second;
+    for (auto b = bucket.begin(); b != bucket.end(); ++b) {
+      if (*b == item) {
+        bucket.erase(b);
+        --size_;
+        if (bucket.empty()) cells_.erase(it);
+        return;
+      }
+    }
+    LM_ASSERT(false && "item not present at the position it claims");
+  }
+
+  /// Relocates an item (mobility). No-op when both positions land in the
+  /// same cell.
+  void move(T* item, const phy::Position& from, const phy::Position& to) {
+    if (key_of(from) == key_of(to)) return;
+    remove(item, from);
+    insert(item, to);
+  }
+
+  /// Calls `fn(T*)` for every item in a cell that intersects the disc of
+  /// `radius_m` around `center`. Conservative: items up to one cell
+  /// diagonal outside the disc may be visited.
+  template <typename Fn>
+  void for_each_within(const phy::Position& center, double radius_m,
+                       Fn&& fn) const {
+    LM_ASSERT(initialized());
+    if (radius_m < 0.0) return;
+    // A query disc spanning more cells than the grid holds non-empty ones
+    // degenerates to a full scan — iterate the buckets directly instead of
+    // walking an enormous coordinate range.
+    const double cells_across = 2.0 * radius_m / cell_size_m_ + 2.0;
+    if (cells_across * cells_across > static_cast<double>(cells_.size()) * 4.0 ||
+        cells_across > 1e6) {
+      for (const auto& [key, bucket] : cells_) {
+        (void)key;
+        for (T* item : bucket) fn(item);
+      }
+      return;
+    }
+    const std::int64_t cx_lo = coord(center.x - radius_m);
+    const std::int64_t cx_hi = coord(center.x + radius_m);
+    const std::int64_t cy_lo = coord(center.y - radius_m);
+    const std::int64_t cy_hi = coord(center.y + radius_m);
+    for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+        // Skip cells whose nearest point is beyond the radius.
+        const double dx = axis_distance(center.x, cx);
+        const double dy = axis_distance(center.y, cy);
+        if (dx * dx + dy * dy > radius_m * radius_m) continue;
+        const auto it = cells_.find(pack(cx, cy));
+        if (it == cells_.end()) continue;
+        for (T* item : it->second) fn(item);
+      }
+    }
+  }
+
+ private:
+  std::int64_t coord(double v) const {
+    return static_cast<std::int64_t>(std::floor(v / cell_size_m_));
+  }
+
+  static std::uint64_t pack(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+
+  std::uint64_t key_of(const phy::Position& pos) const {
+    return pack(coord(pos.x), coord(pos.y));
+  }
+
+  /// Distance from `v` to the nearest edge of cell index `c` along one
+  /// axis; 0 when `v` lies inside that cell's span.
+  double axis_distance(double v, std::int64_t c) const {
+    const double lo = static_cast<double>(c) * cell_size_m_;
+    const double hi = lo + cell_size_m_;
+    if (v < lo) return lo - v;
+    if (v > hi) return v - hi;
+    return 0.0;
+  }
+
+  double cell_size_m_ = 0.0;
+  std::unordered_map<std::uint64_t, std::vector<T*>> cells_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lm::radio

@@ -100,6 +100,12 @@ bool VirtualRadio::medium_busy() const {
   return channel_.carrier_sensed_by(*this);
 }
 
+void VirtualRadio::set_position(phy::Position p) {
+  const phy::Position old = position_;
+  position_ = p;
+  channel_.radio_moved(*this, old);
+}
+
 bool VirtualRadio::listening_since(TimePoint t) const {
   return state_ == RadioState::Rx && rx_since_ <= t;
 }

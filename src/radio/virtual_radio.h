@@ -68,9 +68,11 @@ class VirtualRadio final : public Radio {
   const RadioConfig& config() const { return config_; }
 
   phy::Position position() const { return position_; }
-  /// Moves the radio (mobility support). Takes effect for frames that start
-  /// after the move.
-  void set_position(phy::Position p) { position_ = p; }
+  /// Moves the radio (mobility support) and re-buckets it in the channel's
+  /// spatial index. Takes effect for frames that start after the move; a
+  /// frame already in flight toward this radio is evaluated against the
+  /// position at its end (propagation within one frame is negligible).
+  void set_position(phy::Position p);
 
   const RadioStats& stats() const { return stats_; }
 

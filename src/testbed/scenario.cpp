@@ -19,6 +19,7 @@ void apply_region(ScenarioConfig& config, const phy::RegionParams& region) {
 
 MeshScenario::MeshScenario(ScenarioConfig config) : config_(std::move(config)) {
   channel_ = std::make_unique<radio::Channel>(sim_, config_.propagation,
+                                              config_.channel,
                                               config_.seed ^ 0xC0FFEE);
 }
 

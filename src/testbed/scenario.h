@@ -27,6 +27,9 @@ namespace lm::testbed {
 struct ScenarioConfig {
   std::uint64_t seed = 1;
   radio::PropagationConfig propagation = radio::PropagationConfig::campus();
+  /// Delivery-policy knobs: spatial-index culling (default) vs the O(N^2)
+  /// brute-force sweep, for A/B comparisons and scaling experiments.
+  radio::ChannelConfig channel;
   radio::RadioConfig radio;  // modulation, frequency, power shared by all nodes
   net::MeshConfig mesh;
 };

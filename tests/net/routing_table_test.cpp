@@ -356,5 +356,68 @@ TEST(RoutingTableSnapshot, EmptyTableSnapshotsFine) {
   EXPECT_EQ(rebooted.size(), 0u);
 }
 
+// The destination index backing route_to()/next_hop() must agree with a
+// linear scan of entries() after every kind of table churn: installs,
+// updates, withdrawals, expiry cascades, and snapshot restores.
+namespace {
+void expect_index_matches_entries(const RoutingTable& t) {
+  // Every stored entry is found, with the right contents.
+  for (const RouteEntry& e : t.entries()) {
+    const auto r = t.route_to(e.destination);
+    ASSERT_TRUE(r.has_value()) << "missing " << to_string(e.destination);
+    EXPECT_EQ(r->via, e.via);
+    EXPECT_EQ(r->metric, e.metric);
+    EXPECT_EQ(r->role, e.role);
+  }
+  // A destination the table does not hold is not found.
+  EXPECT_FALSE(t.route_to(0x7FFF).has_value());
+}
+}  // namespace
+
+TEST(RoutingTableIndex, LookupMatchesLinearScanThroughChurn) {
+  RoutingTable t(kSelf, kTimeout);
+
+  // Two neighbors each advertise a block of destinations.
+  std::vector<RoutingEntry> from_a, from_b;
+  for (Address d = 0x0100; d < 0x0140; ++d) from_a.push_back({d, 2});
+  for (Address d = 0x0120; d < 0x0160; ++d) from_b.push_back({d, 1});
+  t.apply_beacon(kA, from_a, at(0));
+  expect_index_matches_entries(t);
+  t.apply_beacon(kB, from_b, at(1));  // overlapping block: updates + installs
+  expect_index_matches_entries(t);
+  EXPECT_EQ(t.size(), 2u + 0x60);
+
+  // Overlap region adopted the better route via B.
+  EXPECT_EQ(t.route_to(0x0130)->via, kB);
+  EXPECT_EQ(t.route_to(0x0130)->metric, 2);
+  EXPECT_EQ(t.route_to(0x0110)->via, kA);
+
+  // Withdrawal: A saturates one of its exclusive destinations.
+  t.apply_beacon(kA, {{0x0105, static_cast<std::uint8_t>(kInfiniteMetric)}},
+                 at(2));
+  EXPECT_FALSE(t.has_route(0x0105));
+  expect_index_matches_entries(t);
+
+  // Expiry cascade: refresh B just before A's block lapses, then expire.
+  // Everything via A (including A itself) goes; everything via B stays.
+  t.apply_beacon(kB, from_b, at(300));
+  const std::size_t removed = t.expire(at(2) + kTimeout);
+  EXPECT_GT(removed, 0u);
+  EXPECT_FALSE(t.has_route(kA));
+  EXPECT_FALSE(t.has_route(0x0110));
+  EXPECT_TRUE(t.has_route(kB));
+  EXPECT_TRUE(t.has_route(0x0130));
+  expect_index_matches_entries(t);
+  for (const RouteEntry& e : t.entries()) EXPECT_EQ(e.via, kB);
+
+  // Restore path rebuilds the index too.
+  const auto snapshot = t.serialize(at(400));
+  RoutingTable rebooted(kSelf, kTimeout);
+  ASSERT_TRUE(rebooted.restore(snapshot, at(401)));
+  EXPECT_EQ(rebooted.size(), t.size());
+  expect_index_matches_entries(rebooted);
+  EXPECT_EQ(rebooted.next_hop(0x0130), kB);
+}
+
 }  // namespace
 }  // namespace lm::net

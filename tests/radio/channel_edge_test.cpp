@@ -97,7 +97,8 @@ TEST(ChannelEdge, FadingIsConsistentPerFrameAndReceiver) {
   // Accounting identity: every reception opportunity is counted once.
   EXPECT_EQ(s.receptions_delivered + s.dropped_snr + s.dropped_collision +
                 s.dropped_below_sensitivity + s.dropped_not_listening +
-                s.dropped_blocked_link + s.dropped_modulation_mismatch,
+                s.dropped_blocked_link + s.dropped_modulation_mismatch +
+                s.dropped_out_of_range,
             50u);
   EXPECT_EQ(rx.frames, static_cast<int>(s.receptions_delivered));
 }
