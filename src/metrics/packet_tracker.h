@@ -15,6 +15,7 @@
 
 #include "support/stats.h"
 #include "support/time.h"
+#include "trace/trace_event.h"
 
 namespace lm::metrics {
 
@@ -31,8 +32,13 @@ class PacketTracker {
   static std::optional<std::uint64_t> extract_token(
       std::span<const std::uint8_t> payload);
 
-  /// The network refused the send (no route / queue full).
-  void register_refused() { refused_++; }
+  /// The network refused the send. The cause (from the flight recorder's
+  /// DropReason vocabulary — NoRoute, QueueFull, ...) keys the per-cause
+  /// breakdown; callers without cause information record None.
+  void register_refused(trace::DropReason reason = trace::DropReason::None) {
+    refused_++;
+    refused_by_cause_[reason]++;
+  }
 
   /// A payload with `token` reached its destination after `hops` hops.
   /// Duplicate deliveries of the same token are counted separately and do
@@ -42,6 +48,14 @@ class PacketTracker {
   // --- Results ---------------------------------------------------------------
   std::uint64_t attempted() const { return next_token_; }
   std::uint64_t refused() const { return refused_; }
+  /// Refusals recorded under `reason`.
+  std::uint64_t refused(trace::DropReason reason) const {
+    const auto it = refused_by_cause_.find(reason);
+    return it == refused_by_cause_.end() ? 0 : it->second;
+  }
+  const std::map<trace::DropReason, std::uint64_t>& refusals_by_cause() const {
+    return refused_by_cause_;
+  }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t duplicates() const { return duplicates_; }
   /// delivered / attempted (attempted includes refused sends: a send the
@@ -59,6 +73,7 @@ class PacketTracker {
 
   std::uint64_t next_token_ = 0;
   std::uint64_t refused_ = 0;
+  std::map<trace::DropReason, std::uint64_t> refused_by_cause_;
   std::uint64_t delivered_ = 0;
   std::uint64_t duplicates_ = 0;
   std::map<std::uint64_t, Pending> pending_;

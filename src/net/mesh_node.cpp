@@ -75,6 +75,72 @@ void MeshNode::start() {
   schedule_next_beacon(/*first=*/true);
   start_maintenance_loop();
   schedule_rx_cycle();
+  if (tracer_ != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = sim_.now().us();
+    e.node = address_;
+    e.kind = trace::EventKind::NodeUp;
+    tracer_->emit(e);
+  }
+}
+
+void MeshNode::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer == nullptr) {
+    table_.set_observer(nullptr);
+    return;
+  }
+  table_.set_observer([this](const RouteEntry& entry) {
+    if (tracer_ == nullptr) return;
+    trace::TraceEvent e;
+    e.t_us = sim_.now().us();
+    e.node = address_;
+    e.kind = trace::EventKind::RouteAdd;
+    e.final_dst = entry.destination;
+    e.via = entry.via;
+    e.bytes = entry.metric;
+    tracer_->emit(e);
+  });
+}
+
+void MeshNode::trace_packet(trace::EventKind kind, const Packet& packet,
+                            trace::DropReason reason, std::int64_t aux_us,
+                            double value) {
+  trace::TraceEvent e;
+  e.t_us = sim_.now().us();
+  e.node = address_;
+  e.kind = kind;
+  e.reason = reason;
+  const LinkHeader& link = link_of(packet);
+  e.packet_type = static_cast<std::uint8_t>(link.type);
+  e.via = link.dst;
+  if (const RouteHeader* route = route_of(packet)) {
+    e.origin = route->origin;
+    e.final_dst = route->final_dst;
+    e.hops = route->hops;
+    e.ttl = route->ttl;
+    e.packet_id = route->packet_id;
+  } else {
+    e.origin = link.src;  // routing beacons carry no route header
+  }
+  e.bytes = static_cast<std::uint32_t>(encoded_size(packet));
+  e.aux_us = aux_us;
+  e.value = value;
+  tracer_->emit(e);
+}
+
+void MeshNode::trace_refusal(PacketType type, Address dst, std::size_t bytes,
+                             trace::DropReason reason) {
+  trace::TraceEvent e;
+  e.t_us = sim_.now().us();
+  e.node = address_;
+  e.kind = trace::EventKind::Drop;
+  e.reason = reason;
+  e.packet_type = static_cast<std::uint8_t>(type);
+  e.origin = address_;
+  e.final_dst = dst;
+  e.bytes = static_cast<std::uint32_t>(bytes);
+  tracer_->emit(e);
 }
 
 void MeshNode::resume_radio() {
@@ -124,6 +190,13 @@ void MeshNode::start_maintenance_loop() {
 void MeshNode::stop() {
   if (!running_) return;
   running_ = false;
+  if (tracer_ != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = sim_.now().us();
+    e.node = address_;
+    e.kind = trace::EventKind::NodeDown;
+    tracer_->emit(e);
+  }
   for (sim::TimerId* t : {&beacon_timer_, &maintenance_timer_, &pipeline_timer_,
                           &rx_cycle_timer_}) {
     if (*t != 0) {
@@ -164,29 +237,54 @@ RouteHeader MeshNode::make_route(Address final_dst) {
   return r;
 }
 
-bool MeshNode::send_datagram(Address destination, std::vector<std::uint8_t> payload) {
-  if (!running_) return false;
+bool MeshNode::send_datagram(Address destination, std::vector<std::uint8_t> payload,
+                             trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (tracer_ != nullptr) {
+      trace_refusal(PacketType::Data, destination, payload.size(), reason);
+    }
+    return false;
+  };
+  if (!running_) return refuse(trace::DropReason::NotRunning);
   if (destination == address_ || destination == kUnassigned ||
       destination == kBroadcast) {
-    return false;
+    return refuse(trace::DropReason::InvalidDestination);
   }
-  if (payload.size() > max_datagram_payload()) return false;
+  if (payload.size() > max_datagram_payload()) {
+    return refuse(trace::DropReason::PayloadTooLarge);
+  }
   if (!table_.has_route(destination)) {
     stats_.dropped_no_route++;
-    return false;
+    return refuse(trace::DropReason::NoRoute);
   }
   DataPacket p;
   p.link = LinkHeader{kUnassigned, address_, PacketType::Data};
   p.route = make_route(destination);
   p.payload = std::move(payload);
-  if (!enqueue(Packet{std::move(p)}, /*control=*/false)) return false;
+  Packet packet{std::move(p)};
+  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, packet);
+  if (!enqueue(std::move(packet), /*control=*/false)) {
+    if (why != nullptr) *why = trace::DropReason::QueueFull;
+    return false;
+  }
   stats_.datagrams_sent++;
   return true;
 }
 
-bool MeshNode::send_broadcast(std::vector<std::uint8_t> payload) {
-  if (!running_) return false;
-  if (payload.size() > max_datagram_payload()) return false;
+bool MeshNode::send_broadcast(std::vector<std::uint8_t> payload,
+                              trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (tracer_ != nullptr) {
+      trace_refusal(PacketType::Data, kBroadcast, payload.size(), reason);
+    }
+    return false;
+  };
+  if (!running_) return refuse(trace::DropReason::NotRunning);
+  if (payload.size() > max_datagram_payload()) {
+    return refuse(trace::DropReason::PayloadTooLarge);
+  }
   DataPacket p;
   p.link = LinkHeader{kBroadcast, address_, PacketType::Data};
   p.route.final_dst = kBroadcast;
@@ -194,22 +292,36 @@ bool MeshNode::send_broadcast(std::vector<std::uint8_t> payload) {
   p.route.ttl = 1;  // single hop by design
   p.route.packet_id = next_packet_id_++;
   p.payload = std::move(payload);
-  if (!enqueue(Packet{std::move(p)}, /*control=*/false)) return false;
+  Packet packet{std::move(p)};
+  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, packet);
+  if (!enqueue(std::move(packet), /*control=*/false)) {
+    if (why != nullptr) *why = trace::DropReason::QueueFull;
+    return false;
+  }
   stats_.broadcasts_sent++;
   return true;
 }
 
 bool MeshNode::send_acked(Address destination, std::vector<std::uint8_t> payload,
-                          SendCallback done) {
-  if (!running_) return false;
+                          SendCallback done, trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (tracer_ != nullptr) {
+      trace_refusal(PacketType::AckedData, destination, payload.size(), reason);
+    }
+    return false;
+  };
+  if (!running_) return refuse(trace::DropReason::NotRunning);
   if (destination == address_ || destination == kUnassigned ||
       destination == kBroadcast) {
-    return false;
+    return refuse(trace::DropReason::InvalidDestination);
   }
-  if (payload.size() > max_datagram_payload()) return false;
+  if (payload.size() > max_datagram_payload()) {
+    return refuse(trace::DropReason::PayloadTooLarge);
+  }
   if (!table_.has_route(destination)) {
     stats_.dropped_no_route++;
-    return false;
+    return refuse(trace::DropReason::NoRoute);
   }
   AckedDataPacket p;
   p.link = LinkHeader{kUnassigned, address_, PacketType::AckedData};
@@ -217,6 +329,7 @@ bool MeshNode::send_acked(Address destination, std::vector<std::uint8_t> payload
   p.payload = std::move(payload);
   const std::uint16_t id = p.route.packet_id;
   LM_ASSERT(!pending_acks_.contains(id));  // 16-bit id space, tiny windows
+  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, Packet{p});
   PendingAck pending;
   pending.packet = std::move(p);
   pending.done = std::move(done);
@@ -247,6 +360,10 @@ void MeshNode::on_acked_timeout(std::uint16_t packet_id) {
     return;
   }
   stats_.acked_retransmissions++;
+  if (tracer_ != nullptr) {
+    trace_packet(trace::EventKind::AckedRetry, Packet{it->second.packet},
+                 trace::DropReason::None, it->second.attempts);
+  }
   transmit_acked_attempt(packet_id);
 }
 
@@ -254,6 +371,13 @@ void MeshNode::finish_acked(std::uint16_t packet_id, bool success) {
   const auto it = pending_acks_.find(packet_id);
   if (it == pending_acks_.end()) return;
   if (it->second.timer != 0) sim_.cancel(it->second.timer);
+  if (tracer_ != nullptr) {
+    trace_packet(success ? trace::EventKind::AckedConfirmed
+                         : trace::EventKind::Drop,
+                 Packet{it->second.packet},
+                 success ? trace::DropReason::None
+                         : trace::DropReason::RetriesExhausted);
+  }
   SendCallback done = std::move(it->second.done);
   pending_acks_.erase(it);
   if (success) {
@@ -277,19 +401,26 @@ bool MeshNode::acked_seen_before(Address origin, std::uint16_t packet_id) {
 }
 
 bool MeshNode::send_reliable(Address destination, std::vector<std::uint8_t> payload,
-                             SendCallback done) {
-  if (!running_) return false;
+                             SendCallback done, trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (tracer_ != nullptr) {
+      trace_refusal(PacketType::Sync, destination, payload.size(), reason);
+    }
+    return false;
+  };
+  if (!running_) return refuse(trace::DropReason::NotRunning);
   if (destination == address_ || destination == kUnassigned ||
       destination == kBroadcast) {
-    return false;
+    return refuse(trace::DropReason::InvalidDestination);
   }
   if (payload.empty() ||
       payload.size() > config_.max_fragment_payload * 0xFFFFULL) {
-    return false;
+    return refuse(trace::DropReason::PayloadTooLarge);
   }
   if (!table_.has_route(destination)) {
     stats_.dropped_no_route++;
-    return false;
+    return refuse(trace::DropReason::NoRoute);
   }
   // Allocate a transfer sequence number free for this destination.
   std::optional<std::uint8_t> seq;
@@ -300,8 +431,21 @@ bool MeshNode::send_reliable(Address destination, std::vector<std::uint8_t> payl
       break;
     }
   }
-  if (!seq) return false;  // 256 concurrent transfers to one peer
+  // 256 concurrent transfers to one peer exhausts the sequence space.
+  if (!seq) return refuse(trace::DropReason::SessionLimit);
   stats_.transfers_started++;
+  if (tracer_ != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = sim_.now().us();
+    e.node = address_;
+    e.kind = trace::EventKind::TransferStart;
+    e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+    e.origin = address_;
+    e.final_dst = destination;
+    e.packet_id = *seq;
+    e.bytes = static_cast<std::uint32_t>(payload.size());
+    tracer_->emit(e);
+  }
   auto completion = [this, done = std::move(done)](bool success) {
     if (success) {
       stats_.transfers_completed++;
@@ -314,7 +458,7 @@ bool MeshNode::send_reliable(Address destination, std::vector<std::uint8_t> payl
       SessionKey{destination, *seq},
       std::make_unique<ReliableSender>(sim_, *this, config_, destination, *seq,
                                        std::move(payload), std::move(completion),
-                                       rng_.next_u64()));
+                                       rng_.next_u64(), tracer_, address_));
   return true;
 }
 
@@ -344,9 +488,14 @@ bool MeshNode::enqueue(Packet packet, bool control) {
   std::deque<Packet>& queue = control ? control_queue_ : data_queue_;
   if (queue.size() >= config_.max_queue) {
     stats_.dropped_queue_full++;
+    if (tracer_ != nullptr) {
+      trace_packet(trace::EventKind::QueueDrop, packet,
+                   trace::DropReason::QueueFull);
+    }
     notify_fragment_progress(packet);
     return false;
   }
+  if (tracer_ != nullptr) trace_packet(trace::EventKind::Enqueue, packet);
   queue.push_back(std::move(packet));
   pump();
   return true;
@@ -372,6 +521,11 @@ void MeshNode::pump() {
     stats_.duty_cycle_delays++;
     tx_phase_ = TxPhase::WaitingDuty;
     const TimePoint when = duty_.next_allowed(now, airtime);
+    if (tracer_ != nullptr) {
+      trace_packet(trace::EventKind::DutyDefer, current_->packet,
+                   trace::DropReason::None, (when - now).us(),
+                   duty_.utilization(now));
+    }
     pipeline_timer_ = sim_.schedule_at(when, [this] {
       pipeline_timer_ = 0;
       tx_phase_ = TxPhase::Idle;
@@ -400,10 +554,17 @@ void MeshNode::channel_busy_backoff() {
   LM_ASSERT(current_.has_value());
   stats_.cad_busy_events++;
   current_->cad_attempts++;
+  if (tracer_ != nullptr) {
+    trace_packet(trace::EventKind::CadBusy, current_->packet,
+                 trace::DropReason::None, current_->cad_attempts);
+  }
   if (current_->cad_attempts > config_.max_cad_retries) {
     // The channel never cleared; transmitting anyway beats starving, and the
     // capture effect may still save one of the colliding frames.
     stats_.forced_transmissions++;
+    if (tracer_ != nullptr) {
+      trace_packet(trace::EventKind::ForcedTx, current_->packet);
+    }
     transmit_now();
     return;
   }
@@ -446,6 +607,10 @@ void MeshNode::transmit_now() {
     const auto next = table_.next_hop(route->final_dst);
     if (!next) {
       stats_.dropped_no_route++;
+      if (tracer_ != nullptr) {
+        trace_packet(trace::EventKind::Drop, packet,
+                     trace::DropReason::NoRoute);
+      }
       notify_fragment_progress(packet);
       current_.reset();
       tx_phase_ = TxPhase::Idle;
@@ -470,6 +635,13 @@ void MeshNode::transmit_now() {
   if (Logger::instance().enabled(LogLevel::Trace)) {
     LM_TRACE(kTag, "%s tx %s", to_string(address_).c_str(),
              describe(packet).c_str());
+  }
+  // MeshTx must directly precede the radio handoff: the channel emits
+  // TxStart at the same timestamp, and the analyzer pairs the two adjacent
+  // events to map tx_seq onto the packet identity.
+  if (tracer_ != nullptr) {
+    trace_packet(trace::EventKind::MeshTx, packet, trace::DropReason::None,
+                 airtime.us());
   }
   const bool started = radio_.transmit(std::move(frame));
   LM_ASSERT(started);
@@ -506,6 +678,15 @@ void MeshNode::on_frame_received(const std::vector<std::uint8_t>& frame,
   auto decoded = decode(frame);
   if (!decoded) {
     stats_.malformed_frames++;
+    if (tracer_ != nullptr) {
+      trace::TraceEvent e;
+      e.t_us = sim_.now().us();
+      e.node = address_;
+      e.kind = trace::EventKind::Drop;
+      e.reason = trace::DropReason::Malformed;
+      e.bytes = static_cast<std::uint32_t>(frame.size());
+      tracer_->emit(e);
+    }
     return;
   }
   const LinkHeader& link = link_of(*decoded);
@@ -531,6 +712,10 @@ void MeshNode::on_frame_received(const std::vector<std::uint8_t>& frame,
     LM_TRACE(kTag, "%s rx %s", to_string(address_).c_str(),
              describe(*decoded).c_str());
   }
+  if (tracer_ != nullptr) {
+    trace_packet(trace::EventKind::RxFrame, *decoded, trace::DropReason::None,
+                 0, meta.snr_db);
+  }
   handle_packet(std::move(*decoded));
 }
 
@@ -545,6 +730,7 @@ void MeshNode::handle_packet(Packet packet) {
     // Single-hop broadcast datagram: deliver, never forward.
     if (const auto* data = std::get_if<DataPacket>(&packet)) {
       stats_.broadcasts_delivered++;
+      if (tracer_ != nullptr) trace_packet(trace::EventKind::Deliver, packet);
       if (broadcast_handler_) broadcast_handler_(route->origin, data->payload);
     }
     return;
@@ -592,10 +778,13 @@ void MeshNode::dispatch_to_sender(Address peer, std::uint8_t seq,
 
 void MeshNode::consume(Packet packet) {
   std::visit(
-      [this](auto& p) {
+      [this, &packet](auto& p) {
         using T = std::decay_t<decltype(p)>;
         if constexpr (std::is_same_v<T, DataPacket>) {
           stats_.datagrams_delivered++;
+          if (tracer_ != nullptr) {
+            trace_packet(trace::EventKind::Deliver, packet);
+          }
           if (datagram_handler_) {
             // route.hops counts forwards; the app sees links traversed.
             datagram_handler_(p.route.origin, p.payload,
@@ -618,15 +807,33 @@ void MeshNode::consume(Packet packet) {
           }
           if (rx_sessions_.size() >= config_.max_rx_sessions) {
             stats_.rx_sessions_rejected++;
+            if (tracer_ != nullptr) {
+              trace_packet(trace::EventKind::Drop, packet,
+                           trace::DropReason::SessionLimit);
+            }
             return;  // no SYNC_ACK: the sender will retry and may find room
           }
-          auto delivery = [this](Address origin, std::vector<std::uint8_t> payload) {
+          auto delivery = [this, seq = p.seq](Address origin,
+                                              std::vector<std::uint8_t> payload) {
             stats_.transfers_received++;
+            if (tracer_ != nullptr) {
+              trace::TraceEvent e;
+              e.t_us = sim_.now().us();
+              e.node = address_;
+              e.kind = trace::EventKind::Deliver;
+              e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+              e.origin = origin;
+              e.final_dst = address_;
+              e.packet_id = seq;
+              e.bytes = static_cast<std::uint32_t>(payload.size());
+              tracer_->emit(e);
+            }
             if (reliable_handler_) reliable_handler_(origin, std::move(payload));
           };
           rx_sessions_.emplace(
               key, std::make_unique<ReliableReceiver>(
-                       sim_, *this, config_, p.route.origin, p, std::move(delivery)));
+                       sim_, *this, config_, p.route.origin, p,
+                       std::move(delivery), tracer_, address_));
         } else if constexpr (std::is_same_v<T, FragmentPacket>) {
           const auto it = rx_sessions_.find(SessionKey{p.route.origin, p.seq});
           if (it != rx_sessions_.end()) it->second->on_fragment(p);
@@ -650,12 +857,22 @@ void MeshNode::consume(Packet packet) {
           ack.route = make_route(p.route.origin);
           ack.acked_id = p.route.packet_id;
           stats_.acks_sent++;
+          if (tracer_ != nullptr) {
+            trace_packet(trace::EventKind::AckSent, packet);
+          }
           submit_control(Packet{ack});
           if (acked_seen_before(p.route.origin, p.route.packet_id)) {
             stats_.acked_duplicates++;
+            if (tracer_ != nullptr) {
+              trace_packet(trace::EventKind::DuplicateDeliver, packet,
+                           trace::DropReason::Duplicate);
+            }
             return;
           }
           stats_.acked_delivered++;
+          if (tracer_ != nullptr) {
+            trace_packet(trace::EventKind::Deliver, packet);
+          }
           if (datagram_handler_) {
             datagram_handler_(p.route.origin, p.payload,
                               static_cast<std::uint8_t>(p.route.hops + 1));
@@ -678,10 +895,17 @@ void MeshNode::forward(Packet packet) {
   LM_ASSERT(route != nullptr);
   if (route->ttl <= 1) {
     stats_.dropped_ttl++;
+    if (tracer_ != nullptr) {
+      trace_packet(trace::EventKind::Drop, packet,
+                   trace::DropReason::TtlExpired);
+    }
     return;
   }
   if (!table_.has_route(route->final_dst)) {
     stats_.dropped_no_route++;
+    if (tracer_ != nullptr) {
+      trace_packet(trace::EventKind::Drop, packet, trace::DropReason::NoRoute);
+    }
     return;
   }
   route->ttl--;
@@ -690,6 +914,7 @@ void MeshNode::forward(Packet packet) {
   link.src = address_;
   link.dst = kUnassigned;  // resolved at transmit time
   stats_.packets_forwarded++;
+  if (tracer_ != nullptr) trace_packet(trace::EventKind::Forward, packet);
   const bool control = is_control_plane(packet);
   if (config_.forward_jitter > Duration::zero()) {
     const Duration delay = Duration::from_seconds(

@@ -41,6 +41,7 @@
 #include "radio/radio_interface.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
+#include "trace/trace_sink.h"
 
 namespace lm::net {
 
@@ -127,11 +128,14 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   // --- Application API ---------------------------------------------------------
   /// Sends an unreliable routed datagram (payload <= kMaxDataPayload).
   /// Returns false — without queuing — when stopped, the destination is
-  /// unknown to the routing table, or the queue is full.
-  bool send_datagram(Address destination, std::vector<std::uint8_t> payload);
+  /// unknown to the routing table, or the queue is full. When `why` is
+  /// non-null it receives the refusal cause on failure.
+  bool send_datagram(Address destination, std::vector<std::uint8_t> payload,
+                     trace::DropReason* why = nullptr);
 
   /// Sends a single-hop broadcast to whoever hears it (never forwarded).
-  bool send_broadcast(std::vector<std::uint8_t> payload);
+  bool send_broadcast(std::vector<std::uint8_t> payload,
+                      trace::DropReason* why = nullptr);
 
   /// Sends one datagram with an end-to-end ACK and automatic
   /// retransmission (the original library's NEED_ACK path): two frames per
@@ -139,13 +143,13 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   /// transfer. `done` fires exactly once. Duplicates caused by retries are
   /// suppressed at the receiver; the handler sees the payload once.
   bool send_acked(Address destination, std::vector<std::uint8_t> payload,
-                  SendCallback done);
+                  SendCallback done, trace::DropReason* why = nullptr);
 
   /// Starts a reliable transfer of an arbitrary-size payload. `done` fires
   /// exactly once with the outcome. Returns false when stopped, payload is
   /// empty/too large, no route exists, or no session slot is free.
   bool send_reliable(Address destination, std::vector<std::uint8_t> payload,
-                     SendCallback done);
+                     SendCallback done, trace::DropReason* why = nullptr);
 
   void set_datagram_handler(DatagramHandler handler) { datagram_handler_ = std::move(handler); }
   void set_broadcast_handler(BroadcastHandler handler) { broadcast_handler_ = std::move(handler); }
@@ -168,6 +172,11 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   std::size_t max_datagram_payload() const;
   const MeshConfig& config() const { return config_; }
   const NodeStats& stats() const { return stats_; }
+
+  /// Attaches the flight recorder: every lifecycle step of every packet this
+  /// node touches is reported. Null detaches; when detached each
+  /// instrumentation site costs a single pointer compare.
+  void set_tracer(trace::Tracer* tracer);
   const DutyCycleLimiter& duty_cycle() const { return duty_; }
   radio::Radio& radio() { return radio_; }
   std::size_t queued_packets() const { return control_queue_.size() + data_queue_.size(); }
@@ -229,6 +238,14 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   void finish_acked(std::uint16_t packet_id, bool success);
   bool acked_seen_before(Address origin, std::uint16_t packet_id);
 
+  // Flight-recorder plumbing. Callers guard on tracer_ != nullptr so the
+  // untraced hot path never pays for argument evaluation.
+  void trace_packet(trace::EventKind kind, const Packet& packet,
+                    trace::DropReason reason = trace::DropReason::None,
+                    std::int64_t aux_us = 0, double value = 0.0);
+  void trace_refusal(PacketType type, Address dst, std::size_t bytes,
+                     trace::DropReason reason);
+
   // Beaconing and maintenance.
   void schedule_next_beacon(bool first);
   void send_beacon();
@@ -245,6 +262,7 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   RoutingTable table_;
   DutyCycleLimiter duty_;
   NodeStats stats_;
+  trace::Tracer* tracer_ = nullptr;
 
   bool running_ = false;
   TxPhase tx_phase_ = TxPhase::Idle;

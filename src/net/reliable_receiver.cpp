@@ -7,7 +7,9 @@ namespace lm::net {
 
 ReliableReceiver::ReliableReceiver(sim::Simulator& sim, PacketSink& sink,
                                    const MeshConfig& config, Address origin,
-                                   const SyncPacket& sync, Delivery delivery)
+                                   const SyncPacket& sync, Delivery delivery,
+                                   trace::Tracer* tracer,
+                                   std::uint16_t trace_node)
     : sim_(sim),
       sink_(sink),
       config_(config),
@@ -15,14 +17,33 @@ ReliableReceiver::ReliableReceiver(sim::Simulator& sim, PacketSink& sink,
       seq_(sync.seq),
       fragment_count_(sync.fragment_count),
       total_bytes_(sync.total_bytes),
-      delivery_(std::move(delivery)) {
+      delivery_(std::move(delivery)),
+      tracer_(tracer),
+      trace_node_(trace_node) {
   LM_REQUIRE(fragment_count_ > 0);
   fragments_.resize(fragment_count_);
   have_.assign(fragment_count_, false);
   session_timer_ = sim_.schedule_after(config_.receiver_session_timeout,
                                        [this] { on_session_timeout(); });
+  if (tracer_ != nullptr) {
+    trace_session(trace::EventKind::TransferRxStart, fragment_count_);
+  }
   send_sync_ack();
   restart_gap_timer();
+}
+
+void ReliableReceiver::trace_session(trace::EventKind kind,
+                                     std::uint32_t bytes) {
+  trace::TraceEvent e;
+  e.t_us = sim_.now().us();
+  e.node = trace_node_;
+  e.kind = kind;
+  e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+  e.origin = origin_;
+  e.final_dst = trace_node_;
+  e.packet_id = seq_;
+  e.bytes = bytes;
+  tracer_->emit(e);
 }
 
 ReliableReceiver::~ReliableReceiver() {
@@ -108,6 +129,10 @@ void ReliableReceiver::on_gap_timeout() {
 void ReliableReceiver::send_lost() {
   ++lost_requests_sent_;
   LostPacket p;
+  if (tracer_ != nullptr) {
+    trace_session(trace::EventKind::LostRequest,
+                  static_cast<std::uint32_t>(missing_indices(kMaxLostIndices).size()));
+  }
   p.link.type = PacketType::Lost;
   p.link.src = sink_.self_address();
   p.route = sink_.make_route(origin_);

@@ -18,6 +18,7 @@
 #include "net/packet.h"
 #include "net/packet_sink.h"
 #include "sim/simulator.h"
+#include "trace/trace_sink.h"
 
 namespace lm::net {
 
@@ -26,8 +27,11 @@ class ReliableReceiver {
   /// Delivery callback: the reassembled payload from `origin`.
   using Delivery = std::function<void(Address origin, std::vector<std::uint8_t> payload)>;
 
+  /// `tracer`/`trace_node` attach the owning node's flight recorder; the
+  /// session reports its start and every LOST repair request.
   ReliableReceiver(sim::Simulator& sim, PacketSink& sink, const MeshConfig& config,
-                   Address origin, const SyncPacket& sync, Delivery delivery);
+                   Address origin, const SyncPacket& sync, Delivery delivery,
+                   trace::Tracer* tracer = nullptr, std::uint16_t trace_node = 0);
   ~ReliableReceiver();
 
   ReliableReceiver(const ReliableReceiver&) = delete;
@@ -51,6 +55,7 @@ class ReliableReceiver {
   std::uint64_t lost_requests_sent() const { return lost_requests_sent_; }
 
  private:
+  void trace_session(trace::EventKind kind, std::uint32_t bytes);
   void send_sync_ack();
   void send_done();
   void send_lost();
@@ -79,6 +84,8 @@ class ReliableReceiver {
   sim::TimerId gap_timer_ = 0;
   sim::TimerId session_timer_ = 0;
   Delivery delivery_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_node_ = 0;
 };
 
 }  // namespace lm::net

@@ -10,7 +10,8 @@ namespace lm::net {
 ReliableSender::ReliableSender(sim::Simulator& sim, PacketSink& sink,
                                const MeshConfig& config, Address destination,
                                std::uint8_t seq, std::vector<std::uint8_t> payload,
-                               Completion completion, std::uint64_t seed)
+                               Completion completion, std::uint64_t seed,
+                               trace::Tracer* tracer, std::uint16_t trace_node)
     : sim_(sim),
       sink_(sink),
       config_(config),
@@ -18,7 +19,9 @@ ReliableSender::ReliableSender(sim::Simulator& sim, PacketSink& sink,
       seq_(seq),
       payload_(std::move(payload)),
       completion_(std::move(completion)),
-      rng_(seed) {
+      rng_(seed),
+      tracer_(tracer),
+      trace_node_(trace_node) {
   LM_REQUIRE(!payload_.empty());
   LM_REQUIRE(destination_ != kBroadcast && destination_ != kUnassigned);
   fragment_capacity_ = config_.max_fragment_payload;
@@ -44,6 +47,19 @@ void ReliableSender::cancel_timer() {
   }
 }
 
+void ReliableSender::trace_transfer(trace::EventKind kind, std::uint32_t bytes) {
+  trace::TraceEvent e;
+  e.t_us = sim_.now().us();
+  e.node = trace_node_;
+  e.kind = kind;
+  e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+  e.origin = trace_node_;
+  e.final_dst = destination_;
+  e.packet_id = seq_;
+  e.bytes = bytes;
+  tracer_->emit(e);
+}
+
 Duration ReliableSender::jittered_retry_timeout() {
   // Randomized retransmission timers: two senders that start (or lose
   // frames) simultaneously must not keep retrying in lockstep.
@@ -52,6 +68,10 @@ Duration ReliableSender::jittered_retry_timeout() {
 
 void ReliableSender::send_sync() {
   ++sync_attempts_;
+  if (tracer_ != nullptr && sync_attempts_ > 1) {
+    trace_transfer(trace::EventKind::TransferSyncRetry,
+                   static_cast<std::uint32_t>(sync_attempts_));
+  }
   SyncPacket p;
   p.link.type = PacketType::Sync;
   p.link.src = sink_.self_address();
@@ -167,6 +187,10 @@ void ReliableSender::on_status_timeout() {
 
 void ReliableSender::send_poll() {
   ++poll_attempts_;
+  if (tracer_ != nullptr) {
+    trace_transfer(trace::EventKind::TransferPoll,
+                   static_cast<std::uint32_t>(poll_attempts_));
+  }
   PollPacket p;
   p.link.type = PacketType::Poll;
   p.link.src = sink_.self_address();
@@ -179,6 +203,9 @@ void ReliableSender::send_poll() {
 void ReliableSender::finish(bool success) {
   cancel_timer();
   state_ = State::Finished;
+  if (tracer_ != nullptr) {
+    trace_transfer(trace::EventKind::TransferEnd, success ? 1 : 0);
+  }
   if (completion_) {
     // Move out first: the callback may destroy this session.
     Completion cb = std::move(completion_);

@@ -23,6 +23,7 @@
 #include "net/packet_sink.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
+#include "trace/trace_sink.h"
 
 namespace lm::net {
 
@@ -35,10 +36,14 @@ class ReliableSender {
   /// `seed` randomizes the fragment pacing: two hidden senders sharing a
   /// relay would otherwise phase-lock — both waiting for the relay's
   /// forward, then colliding at it, forever.
+  /// `tracer`/`trace_node` attach the owning node's flight recorder; the
+  /// session reports SYNC retries, POLLs and the final outcome under the
+  /// node's address.
   ReliableSender(sim::Simulator& sim, PacketSink& sink, const MeshConfig& config,
                  Address destination, std::uint8_t seq,
                  std::vector<std::uint8_t> payload, Completion completion,
-                 std::uint64_t seed = 0);
+                 std::uint64_t seed = 0, trace::Tracer* tracer = nullptr,
+                 std::uint16_t trace_node = 0);
   ~ReliableSender();
 
   ReliableSender(const ReliableSender&) = delete;
@@ -71,6 +76,7 @@ class ReliableSender {
   };
 
   Duration jittered_retry_timeout();
+  void trace_transfer(trace::EventKind kind, std::uint32_t bytes);
   void send_sync();
   void send_poll();
   void send_next_fragment();
@@ -100,6 +106,8 @@ class ReliableSender {
   sim::TimerId timer_ = 0;
   Completion completion_;
   Rng rng_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint16_t trace_node_ = 0;
 };
 
 }  // namespace lm::net

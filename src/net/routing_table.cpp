@@ -56,11 +56,13 @@ bool RoutingTable::apply_beacon(Address neighbor,
       direct->metric = 1;
       direct->via = neighbor;
       changed = true;
+      notify(*direct);
     }
     direct->expires_at = deadline;
   } else {
     append(RouteEntry{neighbor, neighbor, 1, roles::kNone, deadline});
     changed = true;
+    notify(entries_.back());
   }
 
   // (b) Bellman-Ford on the advertised entries. The sender's own metric-0
@@ -81,6 +83,7 @@ bool RoutingTable::apply_beacon(Address neighbor,
       if (candidate < max_metric_) {
         append(RouteEntry{adv.address, neighbor, candidate, adv.role, deadline});
         changed = true;
+        notify(entries_.back());
       }
       continue;
     }
@@ -110,6 +113,7 @@ bool RoutingTable::apply_beacon(Address neighbor,
       cur->role = adv.role;
       cur->expires_at = deadline;
       changed = true;
+      notify(*cur);
     }
   }
   return changed;
@@ -239,6 +243,7 @@ bool RoutingTable::restore(std::span<const std::uint8_t> snapshot, TimePoint now
   if (!r.exhausted()) return false;
   entries_ = std::move(restored);
   reindex();
+  for (const RouteEntry& e : entries_) notify(e);
   return true;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -89,6 +90,13 @@ class RoutingTable {
   /// Multi-line human-readable dump (demo output).
   std::string to_string() const;
 
+  /// Called whenever a route gains a (destination, via) pairing it did not
+  /// hold before — adoption, next-hop switch, or warm-boot restore. Used by
+  /// the flight recorder; withdrawals and expiry are not reported.
+  void set_observer(std::function<void(const RouteEntry&)> observer) {
+    observer_ = std::move(observer);
+  }
+
   // --- Warm-boot snapshot ------------------------------------------------------
   /// Serializes the table (destination, via, metric, role, remaining
   /// lifetime) relative to `now` — the bytes a device would keep in flash
@@ -108,8 +116,13 @@ class RoutingTable {
   void append(RouteEntry entry);
   void reindex();
 
+  void notify(const RouteEntry& entry) {
+    if (observer_) observer_(entry);
+  }
+
   Address self_;
   Duration route_timeout_;
+  std::function<void(const RouteEntry&)> observer_;
   std::uint8_t max_metric_;
   Role own_role_;
   std::vector<RouteEntry> entries_;

@@ -163,6 +163,16 @@ void Channel::begin_tx(VirtualRadio& radio, std::vector<std::uint8_t> frame) {
   t.frame = std::move(frame);
   if (airtime > longest_airtime_) longest_airtime_ = airtime;
   stats_.frames_transmitted++;
+  if (tracer_ != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = t.start.us();
+    e.node = t.tx_id;
+    e.kind = trace::EventKind::TxStart;
+    e.bytes = static_cast<std::uint32_t>(t.frame.size());
+    e.tx_seq = t.seq;
+    e.aux_us = airtime.us();
+    tracer_->emit(e);
+  }
 
   const std::uint64_t seq = t.seq;
   active_.push_back(std::move(t));
@@ -178,6 +188,15 @@ void Channel::finish_tx(std::uint64_t seq) {
   it->ended = true;
   --in_flight_n_;
   Transmission& frame = *it;  // deque: address stable until pruned
+  if (tracer_ != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = sim_.now().us();
+    e.node = frame.tx_id;
+    e.kind = trace::EventKind::TxEnd;
+    e.bytes = static_cast<std::uint32_t>(frame.frame.size());
+    e.tx_seq = frame.seq;
+    tracer_->emit(e);
+  }
 
   // Return the transmitter to Standby first so its stack can re-arm; a frame
   // it starts *now* cannot overlap the one that just ended.
@@ -207,7 +226,19 @@ void Channel::finish_tx(std::uint64_t seq) {
       ++others_seen;
       evaluate_reception(frame, *rx);
     }
-    stats_.dropped_out_of_range += others_total - others_seen;
+    const std::size_t culled = others_total - others_seen;
+    stats_.dropped_out_of_range += culled;
+    if (tracer_ != nullptr && culled > 0) {
+      // Culled receivers are tallied in bulk, matching the stats counter:
+      // one event, `bytes` carrying how many opportunities it covers.
+      trace::TraceEvent e;
+      e.t_us = sim_.now().us();
+      e.kind = trace::EventKind::ChannelDrop;
+      e.reason = trace::DropReason::OutOfRange;
+      e.bytes = static_cast<std::uint32_t>(culled);
+      e.tx_seq = frame.seq;
+      tracer_->emit(e);
+    }
   } else {
     // Snapshot the radio list: deliveries may trigger immediate responses,
     // and those must not invalidate this iteration.
@@ -273,6 +304,20 @@ double Channel::rssi_with_fading(Transmission& t, const VirtualRadio& rx) {
   return mean_rssi_from(t, rx) + fading;
 }
 
+void Channel::trace_reception(const Transmission& t, const VirtualRadio& rx,
+                              trace::DropReason reason, double rssi_dbm) const {
+  trace::TraceEvent e;
+  e.t_us = sim_.now().us();
+  e.node = rx.id();
+  e.kind = reason == trace::DropReason::None ? trace::EventKind::ChannelDeliver
+                                             : trace::EventKind::ChannelDrop;
+  e.reason = reason;
+  e.bytes = static_cast<std::uint32_t>(t.frame.size());
+  e.tx_seq = t.seq;
+  e.value = rssi_dbm;
+  tracer_->emit(e);
+}
+
 void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
   // Different carrier: radios on other channels neither decode nor suffer
   // interference (channel spacing gives effectively complete rejection).
@@ -280,11 +325,17 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
 
   if (is_blocked(t.tx_id, rx.id())) {
     stats_.dropped_blocked_link++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::BlockedLink, 0.0);
+    }
     return;
   }
 
   if (rx.modulation().sf != t.mod.sf || rx.modulation().bw != t.mod.bw) {
     stats_.dropped_modulation_mismatch++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::ModulationMismatch, 0.0);
+    }
     return;
   }
 
@@ -293,6 +344,9 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
   // so skip the path-loss/fading work entirely.
   if (!rx.listening_since(t.start)) {
     stats_.dropped_not_listening++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::NotListening, 0.0);
+    }
     return;
   }
 
@@ -302,12 +356,18 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
   const double rssi = rssi_with_fading(frame, rx);
   if (rssi < phy::sensitivity_dbm(t.mod.sf, t.mod.bw)) {
     stats_.dropped_below_sensitivity++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::BelowSensitivity, rssi);
+    }
     return;
   }
 
   const auto loss_it = extra_loss_.find(link_key(t.tx_id, rx.id()));
   if (loss_it != extra_loss_.end() && rng_.bernoulli(loss_it->second)) {
     stats_.dropped_blocked_link++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::BlockedLink, rssi);
+    }
     return;
   }
 
@@ -354,12 +414,18 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
   }
   if (collided) {
     stats_.dropped_collision++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::Collision, rssi);
+    }
     return;
   }
 
   const double snr = phy::snr_db(rssi, t.mod.bw, config_.noise_figure_db);
   if (!rng_.bernoulli(phy::decode_probability(snr, t.mod.sf))) {
     stats_.dropped_snr++;
+    if (tracer_ != nullptr) {
+      trace_reception(t, rx, trace::DropReason::SnrDecode, rssi);
+    }
     return;
   }
 
@@ -370,6 +436,9 @@ void Channel::evaluate_reception(const Transmission& t, VirtualRadio& rx) {
   meta.end = t.end;
   meta.transmitter = t.tx_id;
   stats_.receptions_delivered++;
+  if (tracer_ != nullptr) {
+    trace_reception(t, rx, trace::DropReason::None, rssi);
+  }
   rx.deliver(t.frame, meta);
 }
 

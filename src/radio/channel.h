@@ -31,6 +31,7 @@
 #include "radio/spatial_index.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
+#include "trace/trace_sink.h"
 
 namespace lm::radio {
 
@@ -147,6 +148,10 @@ class Channel {
 
   const ChannelConfig& policy() const { return policy_; }
 
+  /// Attaches the flight recorder. Null detaches; the untraced hot path
+  /// costs one branch per event site.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -179,6 +184,8 @@ class Channel {
   };
 
   void finish_tx(std::uint64_t seq);
+  void trace_reception(const Transmission& t, const VirtualRadio& rx,
+                       trace::DropReason reason, double rssi_dbm) const;
   bool detectable_by(const Transmission& t, const VirtualRadio& listener) const;
   void evaluate_reception(const Transmission& t, VirtualRadio& rx);
   double rssi_with_fading(Transmission& t, const VirtualRadio& rx);
@@ -219,6 +226,7 @@ class Channel {
   std::map<std::pair<RadioId, RadioId>, double> extra_loss_;
   std::map<std::pair<RadioId, RadioId>, bool> blocked_;
   ChannelStats stats_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 1;
   Duration longest_airtime_;  // longest frame seen; bounds the history scan
 

@@ -90,6 +90,14 @@ bool VirtualRadio::start_cad() {
         LM_ASSERT(state_ == RadioState::Cad);
         const bool busy = channel_.carrier_sensed_during(*this, window_start);
         if (busy) stats_.cad_busy++;
+        if (tracer_ != nullptr) {
+          trace::TraceEvent e;
+          e.t_us = sim_.now().us();
+          e.node = id_;
+          e.kind = trace::EventKind::CadDone;
+          e.bytes = busy ? 1 : 0;
+          tracer_->emit(e);
+        }
         enter(RadioState::Standby);
         if (listener_ != nullptr) listener_->on_cad_done(busy);
       });

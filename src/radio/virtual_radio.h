@@ -76,6 +76,10 @@ class VirtualRadio final : public Radio {
 
   const RadioStats& stats() const { return stats_; }
 
+  /// Attaches the flight recorder. Null detaches; the untraced path costs
+  /// one branch per event site.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Cumulative time spent in `state` since construction, including the
   /// currently running stretch. Drives the energy model (radio/energy.h).
   Duration time_in_state(RadioState state) const;
@@ -102,6 +106,7 @@ class VirtualRadio final : public Radio {
   TimePoint tx_started_;      // valid while state_ == Tx
   sim::TimerId cad_timer_ = 0;
   RadioStats stats_;
+  trace::Tracer* tracer_ = nullptr;
   TimePoint state_entered_;   // when state_ last changed
   Duration state_time_[5];    // accumulated per RadioState (indexed by value)
 };

@@ -40,7 +40,18 @@ std::size_t MeshScenario::add_node(phy::Position position, net::Role role) {
   nodes_.push_back(std::make_unique<net::MeshNode>(
       sim_, *radios_.back(), address, node_config,
       config_.seed * 0x9E3779B97F4A7C15ULL + index + 1));
+  if (tracer_ != nullptr) {
+    radios_.back()->set_tracer(tracer_);
+    nodes_.back()->set_tracer(tracer_);
+  }
   return index;
+}
+
+void MeshScenario::attach_tracer(trace::Tracer& tracer) {
+  tracer_ = &tracer;
+  channel_->set_tracer(tracer_);
+  for (auto& radio : radios_) radio->set_tracer(tracer_);
+  for (auto& node : nodes_) node->set_tracer(tracer_);
 }
 
 std::size_t MeshScenario::add_node(phy::Position position) {

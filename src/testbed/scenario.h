@@ -67,6 +67,10 @@ class MeshScenario {
   /// Index of the node owning `address`; nullopt if unknown.
   std::optional<std::size_t> index_of(net::Address address) const;
 
+  /// Attaches a flight recorder to the channel, every radio and every node
+  /// (existing and future). The tracer must outlive the scenario.
+  void attach_tracer(trace::Tracer& tracer);
+
   // --- Lifecycle ------------------------------------------------------------------
   void start_all();
   /// Stops one node (crash/power-off). Its routes age out of the others.
@@ -113,6 +117,7 @@ class MeshScenario {
   std::unique_ptr<radio::Channel> channel_;
   std::vector<std::unique_ptr<radio::VirtualRadio>> radios_;
   std::vector<std::unique_ptr<net::MeshNode>> nodes_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lm::testbed

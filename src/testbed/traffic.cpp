@@ -81,9 +81,10 @@ void DatagramTraffic::fire() {
   const std::uint64_t token =
       tracker_.register_send(scenario_.simulator().now());
   auto payload = metrics::PacketTracker::make_payload(token, config_.payload_size);
+  trace::DropReason why = trace::DropReason::None;
   if (!scenario_.node(src_).send_datagram(scenario_.address_of(dst_),
-                                          std::move(payload))) {
-    tracker_.register_refused();
+                                          std::move(payload), &why)) {
+    tracker_.register_refused(why);
   }
   schedule_next();
 }

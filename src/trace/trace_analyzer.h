@@ -1,0 +1,96 @@
+// Offline analysis over a captured flight-recorder trace.
+//
+// The analyzer reconstructs per-packet journeys (every event touching one
+// (origin, packet_id, type) identity, with channel events joined in via the
+// MeshTx -> TxStart adjacency), attributes losses to their typed cause, and
+// checks the cross-layer invariants the randomized trace tests enforce:
+//   1. no packet delivered twice to one node's application without a
+//      duplicate event;
+//   2. hop counts monotonically non-decreasing (and TTL non-increasing)
+//      along a journey;
+//   3. every transmission inside the node's sliding-window duty budget;
+//   4. every channel delivery matched to exactly one transmission (and
+//      stamped with its end-of-frame time);
+//   5. no unicast transmitted via a next hop the routing table never held
+//      for that destination.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/time.h"
+#include "trace/trace_event.h"
+
+namespace lm::trace {
+
+/// Identity of one packet journey across the mesh.
+struct PacketKey {
+  std::uint16_t origin = 0;
+  std::uint16_t packet_id = 0;
+  std::uint8_t packet_type = 0;
+
+  friend auto operator<=>(const PacketKey&, const PacketKey&) = default;
+};
+
+struct Journey {
+  PacketKey key;
+  std::vector<TraceEvent> events;  // in emission (= chronological) order
+  bool delivered = false;          // any Deliver event observed
+};
+
+/// Knobs for check_invariants(); mirror the MeshConfig the scenario ran
+/// with (the trace layer cannot see lm_net's config type).
+struct InvariantOptions {
+  /// Duty-cycle limit fraction; >= 1.0 skips the duty invariant (the
+  /// limiter is disabled in that regime).
+  double duty_cycle_limit = 1.0;
+  Duration duty_cycle_window = Duration::hours(1);
+  /// Check invariant 5 (routes held). Disable for traces captured without
+  /// RouteAdd events.
+  bool check_routes = true;
+};
+
+class TraceAnalyzer {
+ public:
+  /// Takes the events in emission order (as any sink recorded them).
+  explicit TraceAnalyzer(std::vector<TraceEvent> events);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Per-packet journeys, keyed by (origin, packet_id, type). Channel
+  /// events (TxStart/TxEnd/ChannelDeliver/ChannelDrop) are attached to the
+  /// journey that transmitted them.
+  const std::map<PacketKey, Journey>& journeys() const { return journeys_; }
+
+  /// Mesh-layer terminal losses by cause: every QueueDrop and Drop event.
+  std::map<DropReason, std::uint64_t> loss_by_cause() const;
+
+  /// Channel-layer reception losses by cause; spatial-index culling
+  /// (OutOfRange) arrives as bulk counts and is expanded here.
+  std::map<DropReason, std::uint64_t> channel_loss_by_cause() const;
+
+  std::uint64_t delivered_count() const;
+
+  /// Human-readable per-cause loss table (EXPERIMENTS.md, demo output).
+  std::string loss_table() const;
+
+  /// Runs all invariants; returns one message per violation (empty = clean).
+  std::vector<std::string> check_invariants(const InvariantOptions& opts) const;
+
+  /// Canonical multi-line rendering of a whole trace (one canonical_line
+  /// per event). This is what golden files store and what the
+  /// determinism tests compare byte-for-byte.
+  static std::string canonical_text(const std::vector<TraceEvent>& events);
+
+ private:
+  void build_journeys();
+
+  std::vector<TraceEvent> events_;
+  std::map<PacketKey, Journey> journeys_;
+  // tx_seq -> journey key, derived from MeshTx/TxStart adjacency.
+  std::map<std::uint64_t, PacketKey> tx_owner_;
+};
+
+}  // namespace lm::trace

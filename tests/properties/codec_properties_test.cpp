@@ -163,6 +163,85 @@ TEST_P(CodecProperty, SingleByteMutationIsHandled) {
   }
 }
 
+TEST_P(CodecProperty, MultiByteMutationIsHandled) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int i = 0; i < 200; ++i) {
+    auto frame = encode(random_packet(rng));
+    const auto mutations = rng.uniform_int(1, 8);
+    for (std::int64_t m = 0; m < mutations; ++m) {
+      frame[rng.index(frame.size())] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const auto decoded = decode(frame);  // must survive arbitrary damage
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), frame);  // still canonical
+    }
+  }
+}
+
+TEST_P(CodecProperty, BitFlipFuzz) {
+  Rng rng(GetParam() ^ 0x0B17);
+  for (int i = 0; i < 200; ++i) {
+    auto frame = encode(random_packet(rng));
+    const auto flips = rng.uniform_int(1, 16);
+    for (std::int64_t f = 0; f < flips; ++f) {
+      frame[rng.index(frame.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.index(8));
+    }
+    const auto decoded = decode(frame);
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), frame);
+      EXPECT_EQ(encoded_size(*decoded), frame.size());
+    }
+  }
+}
+
+TEST_P(CodecProperty, InsertAndDeleteFuzz) {
+  // Length-changing damage: random insertions and deletions shift every
+  // later field, so the decoder's length checks carry the whole weight.
+  Rng rng(GetParam() ^ 0x1D31);
+  for (int i = 0; i < 200; ++i) {
+    auto frame = encode(random_packet(rng));
+    const auto edits = rng.uniform_int(1, 4);
+    for (std::int64_t e = 0; e < edits; ++e) {
+      if (!frame.empty() && rng.bernoulli(0.5)) {
+        frame.erase(frame.begin() +
+                    static_cast<std::ptrdiff_t>(rng.index(frame.size())));
+      } else {
+        frame.insert(frame.begin() +
+                         static_cast<std::ptrdiff_t>(rng.index(frame.size() + 1)),
+                     static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      }
+    }
+    if (frame.size() > 255) frame.resize(255);
+    const auto decoded = decode(frame);
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), frame);
+    }
+  }
+}
+
+TEST_P(CodecProperty, SplicedFramesNeverCrash) {
+  // A frame assembled from the head of one packet and the tail of another —
+  // the shape a mid-air capture race would produce.
+  Rng rng(GetParam() ^ 0x5F11CE);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = encode(random_packet(rng));
+    const auto b = encode(random_packet(rng));
+    std::vector<std::uint8_t> spliced(
+        a.begin(), a.begin() + static_cast<std::ptrdiff_t>(rng.index(a.size() + 1)));
+    const std::size_t tail = rng.index(b.size() + 1);
+    spliced.insert(spliced.end(), b.end() - static_cast<std::ptrdiff_t>(tail),
+                   b.end());
+    if (spliced.size() > 255) spliced.resize(255);
+    const auto decoded = decode(spliced);
+    if (decoded) {
+      EXPECT_EQ(encode(*decoded), spliced);
+      EXPECT_EQ(encoded_size(*decoded), spliced.size());
+    }
+  }
+}
+
 TEST_P(CodecProperty, TruncationNeverCrashes) {
   Rng rng(GetParam() ^ 0xD00D);
   for (int i = 0; i < 200; ++i) {

@@ -73,6 +73,20 @@ TEST(PacketTracker, RefusedSendsCountAgainstPdr) {
   EXPECT_DOUBLE_EQ(t.pdr(), 0.0);
 }
 
+TEST(PacketTracker, RefusalsBreakDownByCause) {
+  PacketTracker t;
+  t.register_refused(lm::trace::DropReason::NoRoute);
+  t.register_refused(lm::trace::DropReason::NoRoute);
+  t.register_refused(lm::trace::DropReason::QueueFull);
+  t.register_refused();  // caller without cause information
+  EXPECT_EQ(t.refused(), 4u);
+  EXPECT_EQ(t.refused(lm::trace::DropReason::NoRoute), 2u);
+  EXPECT_EQ(t.refused(lm::trace::DropReason::QueueFull), 1u);
+  EXPECT_EQ(t.refused(lm::trace::DropReason::None), 1u);
+  EXPECT_EQ(t.refused(lm::trace::DropReason::TtlExpired), 0u);
+  EXPECT_EQ(t.refusals_by_cause().size(), 3u);
+}
+
 TEST(PacketTracker, EmptyTrackerPdrIsZero) {
   PacketTracker t;
   EXPECT_DOUBLE_EQ(t.pdr(), 0.0);

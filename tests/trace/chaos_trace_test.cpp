@@ -1,0 +1,80 @@
+// ChaosMonkey lifecycle events in the flight recorder.
+//
+// Every injected failure must appear as exactly one NodeDown event and
+// every recovery as one NodeUp (beyond the initial start_all batch), and
+// replaying the trace must show the monkey's contract held: the network
+// never dropped below min_alive running nodes and protected nodes were
+// never killed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "testbed/chaos.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+#include "trace/trace_event.h"
+#include "trace/trace_sink.h"
+#include "trace_test_util.h"
+
+namespace lm::testbed {
+namespace {
+
+using lm::trace::EventKind;
+
+TEST(ChaosTrace, LifecycleEventsMatchMonkeyCounters) {
+  constexpr std::size_t kNodes = 6;
+  constexpr std::size_t kMinAlive = 3;
+
+  lm::trace::VectorSink sink;
+  lm::trace::Tracer tracer;
+  tracer.attach(&sink);
+  MeshScenario scenario(trace_test::deterministic_config(99));
+  scenario.attach_tracer(tracer);
+  scenario.add_nodes(chain(kNodes, 400.0));
+  scenario.start_all();
+  scenario.run_for(Duration::minutes(2));
+
+  ChaosConfig config;
+  config.mean_time_between_failures = Duration::minutes(2);
+  config.min_outage = Duration::minutes(1);
+  config.max_outage = Duration::minutes(4);
+  config.min_alive = kMinAlive;
+  config.protected_nodes = {0, kNodes - 1};
+  ChaosMonkey monkey(scenario, config, 4242);
+  monkey.start();
+  scenario.run_for(Duration::hours(2));
+  monkey.stop();
+
+  // Addresses of the protected scenario indices (address = index + 1).
+  const std::set<std::uint32_t> protected_addrs{
+      scenario.address_of(0), scenario.address_of(kNodes - 1)};
+
+  std::uint64_t ups = 0;
+  std::uint64_t downs = 0;
+  std::set<std::uint32_t> alive;
+  for (const auto& e : sink.events()) {
+    if (e.kind == EventKind::NodeUp) {
+      ++ups;
+      EXPECT_TRUE(alive.insert(e.node).second)
+          << "node " << e.node << " came up twice without going down";
+    } else if (e.kind == EventKind::NodeDown) {
+      ++downs;
+      EXPECT_FALSE(protected_addrs.contains(e.node))
+          << "protected node " << e.node << " was killed";
+      EXPECT_EQ(alive.erase(e.node), 1u)
+          << "node " << e.node << " went down while already down";
+      EXPECT_GE(alive.size(), kMinAlive)
+          << "network dropped below min_alive at t=" << e.t_us;
+    }
+  }
+
+  // Two hours at a 2-minute MTBF must have produced real churn.
+  EXPECT_GT(monkey.failures_injected(), 5u);
+  EXPECT_EQ(downs, monkey.failures_injected());
+  EXPECT_EQ(ups, kNodes + monkey.recoveries());
+}
+
+}  // namespace
+}  // namespace lm::testbed

@@ -1,0 +1,102 @@
+// Golden-trace regression test.
+//
+// Runs the canonical traced chain scenario (tests/trace/trace_test_util.h)
+// at a fixed seed and diffs the canonical trace rendering byte-for-byte
+// against the checked-in golden file. Any behavioral change anywhere in the
+// stack — routing metric, backoff policy, airtime rounding, queue order —
+// shifts at least one event and flips this test.
+//
+// To regenerate after an intentional behavior change:
+//   LM_UPDATE_GOLDEN=1 ./build/tests/test_trace
+//       --gtest_filter='GoldenTrace.MatchesCheckedInGolden'
+// then inspect the diff of tests/trace/golden/chain4_seed2022.trace and
+// commit it alongside the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_analyzer.h"
+#include "trace_test_util.h"
+
+namespace lm::testbed {
+namespace {
+
+constexpr std::uint64_t kGoldenSeed = 2022;
+const char* const kGoldenPath = LM_TRACE_GOLDEN_DIR "/chain4_seed2022.trace";
+
+std::string capture_canonical() {
+  return lm::trace::TraceAnalyzer::canonical_text(
+      trace_test::capture_chain_trace(kGoldenSeed));
+}
+
+// First differing line between two multi-line strings, for a readable
+// failure message instead of a megabyte of EXPECT_EQ dump.
+std::string first_diff(const std::string& got, const std::string& want) {
+  std::istringstream a(got), b(want);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (true) {
+    const bool ha = static_cast<bool>(std::getline(a, la));
+    const bool hb = static_cast<bool>(std::getline(b, lb));
+    ++line;
+    if (!ha && !hb) return "traces identical";
+    if (la != lb || ha != hb) {
+      return "line " + std::to_string(line) + ":\n  got:  " +
+             (ha ? la : "<end of trace>") + "\n  want: " +
+             (hb ? lb : "<end of golden>");
+    }
+  }
+}
+
+TEST(GoldenTrace, MatchesCheckedInGolden) {
+  const std::string canonical = capture_canonical();
+  ASSERT_FALSE(canonical.empty());
+
+  if (std::getenv("LM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << canonical;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with LM_UPDATE_GOLDEN=1 and commit it";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string golden = buf.str();
+
+  EXPECT_EQ(canonical.size(), golden.size());
+  EXPECT_TRUE(canonical == golden) << first_diff(canonical, golden);
+}
+
+TEST(GoldenTrace, SameBinaryProducesIdenticalTraceTwice) {
+  const std::string first = capture_canonical();
+  const std::string second = capture_canonical();
+  EXPECT_TRUE(first == second) << first_diff(second, first);
+}
+
+TEST(GoldenTrace, ScenarioExercisesTheFullLifecycle) {
+  // Guard against the golden silently degenerating into a trivial trace:
+  // the 4-node chain must show multi-hop forwarding, channel activity and
+  // end-to-end deliveries.
+  lm::trace::TraceAnalyzer analyzer(
+      trace_test::capture_chain_trace(kGoldenSeed));
+  EXPECT_GT(analyzer.events().size(), 100u);
+  EXPECT_GT(analyzer.delivered_count(), 0u);
+  bool saw_forward = false;
+  bool saw_channel = false;
+  for (const auto& e : analyzer.events()) {
+    saw_forward |= e.kind == lm::trace::EventKind::Forward;
+    saw_channel |= e.kind == lm::trace::EventKind::ChannelDeliver;
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_TRUE(saw_channel);
+}
+
+}  // namespace
+}  // namespace lm::testbed

@@ -1,0 +1,49 @@
+// Cross-thread-count determinism of captured traces.
+//
+// Each job builds its own scenario + tracer from an explicit seed and
+// returns the canonical trace text. Sharding the same jobs across 1, 2 and
+// 8 worker threads must yield byte-identical results: the simulation is a
+// pure function of its seed and the ParallelRunner collects results at
+// their input index.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testbed/parallel_runner.h"
+#include "trace/trace_analyzer.h"
+#include "trace_test_util.h"
+
+namespace lm::testbed {
+namespace {
+
+TEST(ThreadDeterminism, CanonicalTracesIdenticalAcross1And2And8Threads) {
+  const std::vector<std::uint64_t> seeds{7, 21, 42, 77};
+  const auto job = [&seeds](std::size_t i) {
+    return lm::trace::TraceAnalyzer::canonical_text(
+        trace_test::capture_chain_trace(seeds[i]));
+  };
+
+  std::vector<std::vector<std::string>> per_thread_count;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    ParallelRunner runner(threads);
+    per_thread_count.push_back(runner.map<std::string>(seeds.size(), job));
+  }
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ASSERT_FALSE(per_thread_count[0][i].empty()) << "seed " << seeds[i];
+    EXPECT_TRUE(per_thread_count[0][i] == per_thread_count[1][i])
+        << "seed " << seeds[i] << ": 1-thread and 2-thread traces differ";
+    EXPECT_TRUE(per_thread_count[0][i] == per_thread_count[2][i])
+        << "seed " << seeds[i] << ": 1-thread and 8-thread traces differ";
+  }
+
+  // Different seeds must not collapse onto one trace (the comparison above
+  // would then be vacuous).
+  EXPECT_NE(per_thread_count[0][0], per_thread_count[0][1]);
+}
+
+}  // namespace
+}  // namespace lm::testbed

@@ -1,0 +1,67 @@
+// Shared scenario recipe for the flight-recorder tests.
+//
+// The golden-trace test and the cross-thread determinism test must run the
+// exact same simulation, so the recipe lives here: a 4-node chain with a
+// deterministic link model (no shadowing/fading), converged before two-way
+// Poisson datagram traffic runs for a fixed stretch of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/packet_tracker.h"
+#include "phy/path_loss.h"
+#include "testbed/scenario.h"
+#include "testbed/topology.h"
+#include "testbed/traffic.h"
+#include "trace/trace_event.h"
+#include "trace/trace_sink.h"
+
+namespace lm::testbed::trace_test {
+
+/// Fully deterministic scenario config: log-distance path loss only, fast
+/// hellos so convergence is quick, duty limiter disabled.
+inline ScenarioConfig deterministic_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.propagation.path_loss = phy::make_log_distance(3.5, 40.0);
+  c.propagation.shadowing_sigma_db = 0.0;
+  c.propagation.fading_sigma_db = 0.0;
+  c.mesh.hello_interval = Duration::seconds(10);
+  c.mesh.maintenance_interval = Duration::seconds(2);
+  c.mesh.duty_cycle_limit = 1.0;
+  return c;
+}
+
+/// Runs the canonical traced scenario: 4-node chain, convergence, then five
+/// minutes of two-way traffic; returns every recorded event. A pure function
+/// of `seed` — the determinism tests rely on that.
+inline std::vector<lm::trace::TraceEvent> capture_chain_trace(
+    std::uint64_t seed) {
+  lm::trace::VectorSink sink;
+  lm::trace::Tracer tracer;
+  tracer.attach(&sink);
+
+  MeshScenario scenario(deterministic_config(seed));
+  scenario.attach_tracer(tracer);
+  scenario.add_nodes(chain(4, 400.0));
+
+  metrics::PacketTracker tracker;
+  attach_tracker(scenario, tracker);
+  scenario.start_all();
+  scenario.run_until_converged(Duration::minutes(5));
+
+  TrafficConfig traffic;
+  traffic.mean_interval = Duration::seconds(15);
+  DatagramTraffic forward(scenario, tracker, 0, 3, traffic, seed ^ 0xF00D);
+  DatagramTraffic reverse(scenario, tracker, 3, 0, traffic, seed ^ 0xBEEF);
+  forward.start();
+  reverse.start();
+  scenario.run_for(Duration::minutes(5));
+  forward.stop();
+  reverse.stop();
+
+  return sink.take();
+}
+
+}  // namespace lm::testbed::trace_test
