@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Include-direction lint for the layered protocol stack.
+#
+# The stack is strictly layered:
+#
+#   support -> phy -> radio -> link -> network -> transport -> node
+#
+# with sim/trace as leaf utilities next to support. Lower layers must not
+# include upward: the link layer knows nothing about routing, the network
+# layer nothing about transport sessions, and only the node facades
+# (mesh_node, port_mux, src/baseline) may see the whole stack. This script
+# greps every #include in src/ and fails on any edge that points up.
+# Suitable as a CI step alongside scripts/check_traces.sh; it needs no
+# build and runs in milliseconds.
+#
+#   scripts/check_layering.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+violation() {
+  echo "layering violation: $1" >&2
+  fail=1
+}
+
+# --- Cross-module direction ---------------------------------------------------
+# allowed_modules <dir> <regex of permitted module prefixes>
+allowed_modules() {
+  local dir="$1" allowed="$2" hits
+  hits=$(grep -Hn '#include "' "src/$dir"/*.h "src/$dir"/*.cpp 2>/dev/null |
+         grep -Ev "#include \"($allowed)/" || true)
+  if [ -n "$hits" ]; then
+    violation "src/$dir may only include from: $allowed"
+    echo "$hits" >&2
+  fi
+}
+
+allowed_modules support  'support'
+allowed_modules sim      'support|sim'
+allowed_modules trace    'support|trace'
+allowed_modules phy      'support|phy'
+allowed_modules radio    'support|sim|trace|phy|radio'
+allowed_modules net      'support|sim|trace|phy|radio|net'
+allowed_modules baseline 'support|sim|trace|phy|radio|net|baseline'
+allowed_modules metrics  'support|sim|trace|phy|radio|net|metrics'
+
+# --- Intra-net tiers ----------------------------------------------------------
+# Tier of every net/ header. A file at tier N may include net/ headers of
+# tier <= N only; baseline/ facades sit at the node tier.
+tier_of() {
+  case "$1" in
+    address.h|address_util.h|role.h|config.h|packet.h|packet_sink.h|layer_context.h)
+      echo 0 ;;  # common vocabulary
+    duty_cycle.h|link_layer.h)
+      echo 1 ;;  # link layer
+    routing_table.h|routing_strategy.h|distance_vector_strategy.h|flooding_strategy.h|network_layer.h)
+      echo 2 ;;  # network layer
+    reliable_sender.h|reliable_receiver.h|transport_layer.h)
+      echo 3 ;;  # transport layer
+    mesh_node.h|port_mux.h)
+      echo 4 ;;  # node facade
+    *)
+      echo "" ;;
+  esac
+}
+
+# check_tier <file> <tier>
+check_tier() {
+  local file="$1" tier="$2" header header_tier
+  while read -r header; do
+    header_tier=$(tier_of "$header")
+    if [ -z "$header_tier" ]; then
+      violation "$file includes net/$header, which has no assigned tier (update scripts/check_layering.sh)"
+      continue
+    fi
+    if [ "$header_tier" -gt "$tier" ]; then
+      violation "$file (tier $tier) includes net/$header (tier $header_tier) — upward include"
+    fi
+  done < <(grep -h '#include "net/' "$file" | sed 's|.*#include "net/\([^"]*\)".*|\1|')
+}
+
+for file in src/net/*.h src/net/*.cpp; do
+  base=$(basename "$file" .cpp)
+  base=$(basename "$base" .h).h
+  tier=$(tier_of "$base")
+  if [ -z "$tier" ]; then
+    violation "src/net/$(basename "$file") is not assigned a tier in scripts/check_layering.sh"
+    continue
+  fi
+  check_tier "$file" "$tier"
+done
+
+for file in src/baseline/*.h src/baseline/*.cpp; do
+  check_tier "$file" 4
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "layering: FAILED" >&2
+  exit 1
+fi
+echo "layering: all include edges point downward"

@@ -1,248 +1,101 @@
 #include "baseline/flooding_node.h"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
+#include <variant>
 
-#include "phy/airtime.h"
 #include "support/assert.h"
-#include "support/byte_codec.h"
-#include "support/log.h"
 
 namespace lm::baseline {
+
+net::MeshConfig FloodingNode::to_mesh_config(const FloodConfig& config) {
+  net::MeshConfig mesh;
+  mesh.max_ttl = config.max_ttl;
+  mesh.use_cad = config.use_cad;
+  mesh.max_cad_retries = config.max_cad_retries;
+  mesh.backoff_base = config.backoff_base;
+  mesh.backoff_max = config.backoff_max;
+  mesh.max_queue = config.max_queue;
+  mesh.duty_cycle_limit = config.duty_cycle_limit;
+  mesh.duty_cycle_window = config.duty_cycle_window;
+  return mesh;
+}
 
 FloodingNode::FloodingNode(sim::Simulator& sim, radio::Radio& radio,
                            net::Address address, FloodConfig config,
                            std::uint64_t seed)
-    : sim_(sim),
-      radio_(radio),
-      address_(address),
-      config_(config),
-      rng_(seed),
-      duty_(config.duty_cycle_limit, config.duty_cycle_window) {
+    : ctx_{sim,           address, to_mesh_config(config),
+           Rng(seed),     net::NodeStats{},
+           /*tracer=*/nullptr,     /*running=*/false},
+      link_(ctx_, radio,
+            net::LinkLayer::Callbacks{
+                [this](const net::RouteHeader& route) {
+                  return network_.resolve_next_hop(route);
+                },
+                [this](net::Packet packet) {
+                  network_.on_packet(std::move(packet));
+                },
+                [](const net::Packet&) {},   // no sessions to pace
+                [](const net::Packet&) {}}),
+      network_(ctx_, link_,
+               std::make_unique<net::FloodingStrategy>(
+                   net::FloodingStrategyConfig{config.rebroadcast_jitter,
+                                               config.dedup_cache}),
+               [this](net::Packet packet) { deliver(std::move(packet)); }) {
   LM_REQUIRE(address != net::kUnassigned && address != net::kBroadcast);
-  radio_.set_listener(this);
 }
 
-FloodingNode::~FloodingNode() {
-  if (pipeline_timer_ != 0) sim_.cancel(pipeline_timer_);
-  radio_.set_listener(nullptr);
-}
+FloodingNode::~FloodingNode() = default;
 
 void FloodingNode::start() {
-  LM_REQUIRE(!running_);
-  running_ = true;
-  radio_.start_receive();
+  LM_REQUIRE(!ctx_.running);
+  ctx_.running = true;
+  link_.enter_receive();
+  network_.start();  // flooding: no beacons, but keeps the seam uniform
 }
 
 void FloodingNode::stop() {
-  if (!running_) return;
-  running_ = false;
-  if (pipeline_timer_ != 0) {
-    sim_.cancel(pipeline_timer_);
-    pipeline_timer_ = 0;
-  }
-  queue_.clear();
-  if (tx_phase_ != TxPhase::Transmitting) {
-    current_.reset();
-    tx_phase_ = TxPhase::Idle;
-  }
-  const radio::RadioState s = radio_.state();
-  if (s == radio::RadioState::Rx || s == radio::RadioState::Standby) {
-    radio_.sleep();
+  if (!ctx_.running) return;
+  ctx_.running = false;
+  network_.stop();
+  link_.cancel_timers();
+  link_.clear_queues();
+  link_.settle_radio();
+}
+
+bool FloodingNode::send(net::Address destination,
+                        std::vector<std::uint8_t> payload) {
+  return network_.send_datagram(destination, std::move(payload), nullptr);
+}
+
+void FloodingNode::deliver(net::Packet packet) {
+  const auto* data = std::get_if<net::DataPacket>(&packet);
+  if (data == nullptr) return;  // flooding carries plain datagrams only
+  delivered_++;
+  if (handler_) {
+    // route.hops counts relays; the app sees radio links traversed.
+    handler_(data->route.origin, data->payload,
+             static_cast<std::uint8_t>(data->route.hops + 1));
   }
 }
 
-std::vector<std::uint8_t> FloodingNode::encode(const Flood& f) {
-  ByteWriter w;
-  w.u16(f.dst);
-  w.u16(f.origin);
-  w.u16(f.packet_id);
-  w.u8(f.ttl);
-  w.u8(f.hops);
-  w.bytes(f.payload);
-  return w.take();
-}
-
-std::optional<FloodingNode::Flood> FloodingNode::decode(
-    const std::vector<std::uint8_t>& frame) {
-  ByteReader r(frame);
-  Flood f;
-  f.dst = r.u16();
-  f.origin = r.u16();
-  f.packet_id = r.u16();
-  f.ttl = r.u8();
-  f.hops = r.u8();
-  if (!r.ok()) return std::nullopt;
-  f.payload = r.rest();
-  return f;
-}
-
-bool FloodingNode::send(net::Address destination, std::vector<std::uint8_t> payload) {
-  if (!running_) return false;
-  if (destination == address_ || destination == net::kUnassigned) return false;
-  if (payload.size() > kMaxFloodPayload) return false;
-  Flood f;
-  f.dst = destination;
-  f.origin = address_;
-  f.packet_id = next_packet_id_++;
-  f.ttl = config_.max_ttl;
-  f.payload = std::move(payload);
-  // Mark our own packet as seen so an echoed relay is not re-flooded.
-  seen_before(f.origin, f.packet_id);
-  if (!enqueue(std::move(f))) return false;
-  stats_.originated++;
-  return true;
-}
-
-bool FloodingNode::seen_before(net::Address origin, std::uint16_t packet_id) {
-  const auto key = std::pair{origin, packet_id};
-  if (seen_.contains(key)) return true;
-  seen_.insert(key);
-  seen_order_.push_back(key);
-  while (seen_order_.size() > config_.dedup_cache) {
-    seen_.erase(seen_order_.front());
-    seen_order_.pop_front();
-  }
-  return false;
-}
-
-void FloodingNode::on_frame_received(const std::vector<std::uint8_t>& frame,
-                                     const radio::FrameMeta& meta) {
-  (void)meta;
-  if (!running_) return;
-  auto decoded = decode(frame);
-  if (!decoded) {
-    stats_.malformed_frames++;
-    return;
-  }
-  Flood f = std::move(*decoded);
-  if (f.origin == address_) return;  // our own flood relayed back
-  if (seen_before(f.origin, f.packet_id)) {
-    stats_.duplicates_suppressed++;
-    return;
-  }
-  if (f.dst == address_ || f.dst == net::kBroadcast) {
-    stats_.delivered++;
-    // f.hops counts relays; the app sees radio links traversed.
-    if (handler_) handler_(f.origin, f.payload, static_cast<std::uint8_t>(f.hops + 1));
-    if (f.dst == address_) return;  // unicast reached its target: stop here
-  }
-  if (f.ttl <= 1) {
-    stats_.dropped_ttl++;
-    return;
-  }
-  f.ttl--;
-  f.hops++;
-  const Duration jitter = Duration::from_seconds(rng_.uniform(
-      0.0, std::max(config_.rebroadcast_jitter.seconds_d(), 1e-4)));
-  sim_.schedule_after(jitter, [this, f = std::move(f)]() mutable {
-    if (!running_) return;
-    if (enqueue(std::move(f))) stats_.relayed++;
-  });
-}
-
-bool FloodingNode::enqueue(Flood f) {
-  if (queue_.size() >= config_.max_queue) {
-    stats_.dropped_queue_full++;
-    return false;
-  }
-  queue_.push_back(std::move(f));
-  pump();
-  return true;
-}
-
-void FloodingNode::pump() {
-  if (!running_ || tx_phase_ != TxPhase::Idle) return;
-  if (!current_) {
-    if (queue_.empty()) return;
-    current_ = std::move(queue_.front());
-    queue_.pop_front();
-    cad_attempts_ = 0;
-  }
-  const Duration airtime =
-      phy::time_on_air(radio_.modulation(), 8 + current_->payload.size());
-  const TimePoint now = sim_.now();
-  if (!duty_.allowed(now, airtime)) {
-    stats_.duty_cycle_delays++;
-    tx_phase_ = TxPhase::WaitingDuty;
-    pipeline_timer_ = sim_.schedule_at(duty_.next_allowed(now, airtime), [this] {
-      pipeline_timer_ = 0;
-      tx_phase_ = TxPhase::Idle;
-      pump();
-    });
-    return;
-  }
-  if (config_.use_cad) {
-    // Soft carrier sense first (see MeshNode::pump): never abort an
-    // ongoing reception just to run CAD.
-    if (radio_.medium_busy()) {
-      channel_busy_backoff();
-      return;
-    }
-    tx_phase_ = TxPhase::Cad;
-    const bool started = radio_.start_cad();
-    LM_ASSERT(started);
-  } else {
-    transmit_now();
-  }
-}
-
-void FloodingNode::channel_busy_backoff() {
-  stats_.cad_busy_events++;
-  cad_attempts_++;
-  if (cad_attempts_ > config_.max_cad_retries) {
-    stats_.forced_transmissions++;
-    transmit_now();
-    return;
-  }
-  tx_phase_ = TxPhase::Backoff;
-  if (radio_.state() == radio::RadioState::Standby) radio_.start_receive();
-  const int exponent = std::min(cad_attempts_, 6);
-  Duration window = config_.backoff_base * (std::int64_t{1} << exponent);
-  if (window > config_.backoff_max) window = config_.backoff_max;
-  const Duration delay = Duration::from_seconds(
-      rng_.uniform(0.0, std::max(window.seconds_d(), 1e-4)));
-  pipeline_timer_ = sim_.schedule_after(delay, [this] {
-    pipeline_timer_ = 0;
-    tx_phase_ = TxPhase::Idle;
-    pump();
-  });
-}
-
-void FloodingNode::on_cad_done(bool channel_active) {
-  if (!running_) {
-    radio_.sleep();
-    return;
-  }
-  LM_ASSERT(tx_phase_ == TxPhase::Cad);
-  if (!channel_active) {
-    transmit_now();
-    return;
-  }
-  channel_busy_backoff();
-}
-
-void FloodingNode::transmit_now() {
-  LM_ASSERT(current_.has_value());
-  std::vector<std::uint8_t> frame = encode(*current_);
-  const Duration airtime = phy::time_on_air(radio_.modulation(), frame.size());
-  stats_.bytes_sent += frame.size();
-  stats_.airtime += airtime;
-  duty_.record(sim_.now(), airtime);
-  tx_phase_ = TxPhase::Transmitting;
-  const bool started = radio_.transmit(std::move(frame));
-  LM_ASSERT(started);
-}
-
-void FloodingNode::on_tx_done() {
-  LM_ASSERT(tx_phase_ == TxPhase::Transmitting);
-  tx_phase_ = TxPhase::Idle;
-  current_.reset();
-  if (!running_) {
-    radio_.sleep();
-    return;
-  }
-  radio_.start_receive();
-  pump();
+const FloodStats& FloodingNode::stats() const {
+  const net::NodeStats& s = ctx_.stats;
+  const auto& strategy =
+      static_cast<const net::FloodingStrategy&>(network_.strategy());
+  stats_.originated = s.datagrams_sent;
+  stats_.relayed = s.packets_forwarded;
+  stats_.delivered = delivered_;
+  stats_.duplicates_suppressed = strategy.duplicates_suppressed();
+  stats_.dropped_ttl = s.dropped_ttl;
+  stats_.dropped_queue_full = s.dropped_queue_full;
+  stats_.malformed_frames = s.malformed_frames;
+  stats_.cad_busy_events = s.cad_busy_events;
+  stats_.forced_transmissions = s.forced_transmissions;
+  stats_.duty_cycle_delays = s.duty_cycle_delays;
+  stats_.bytes_sent = s.control_bytes_sent + s.data_bytes_sent;
+  stats_.airtime = s.control_airtime + s.data_airtime;
+  return stats_;
 }
 
 }  // namespace lm::baseline

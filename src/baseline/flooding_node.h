@@ -7,23 +7,26 @@
 // every packet occupies every node's channel — which is exactly the
 // trade-off E4 quantifies against LoRaMesher.
 //
-// Frame format (little-endian, 8-byte header):
-//   dst:u16 origin:u16 packet_id:u16 ttl:u8 hops:u8 payload...
+// Since the layered-stack refactor this node is a thin facade over the
+// shared protocol stack: net::LinkLayer does the radio arbitration
+// (CAD/backoff/queues/duty cycle — previously copy-pasted here) and
+// net::NetworkLayer runs a net::FloodingStrategy. Floods ride the standard
+// mesh wire format (5-byte link + 8-byte route header) instead of the old
+// ad-hoc 8-byte header, so both protocols pay the same header tax in E4.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <optional>
-#include <set>
 #include <vector>
 
 #include "net/address.h"
 #include "net/config.h"
-#include "net/duty_cycle.h"
+#include "net/flooding_strategy.h"
+#include "net/layer_context.h"
+#include "net/link_layer.h"
+#include "net/network_layer.h"
 #include "radio/radio_interface.h"
 #include "sim/simulator.h"
-#include "support/rng.h"
 
 namespace lm::baseline {
 
@@ -34,7 +37,7 @@ struct FloodConfig {
   Duration rebroadcast_jitter = Duration::milliseconds(500);
   /// Remembered (origin, packet_id) pairs for duplicate suppression.
   std::size_t dedup_cache = 512;
-  // Channel access (same scheme as MeshNode).
+  // Channel access (same scheme as MeshNode — same LinkLayer, in fact).
   bool use_cad = true;
   int max_cad_retries = 8;
   Duration backoff_base = Duration::milliseconds(100);
@@ -59,10 +62,10 @@ struct FloodStats {
   Duration airtime;
 };
 
-/// The payload limit of one flooded packet.
-constexpr std::size_t kMaxFloodPayload = 255 - 8;
+/// The payload limit of one flooded packet (standard mesh framing).
+constexpr std::size_t kMaxFloodPayload = net::kMaxDataPayload;
 
-class FloodingNode final : public radio::RadioListener {
+class FloodingNode final {
  public:
   /// (origin, payload, radio links traversed) — a flood addressed to us (or
   /// broadcast) arrived. A direct neighbor's flood reports 1 hop.
@@ -72,68 +75,35 @@ class FloodingNode final : public radio::RadioListener {
 
   FloodingNode(sim::Simulator& sim, radio::Radio& radio,
                net::Address address, FloodConfig config, std::uint64_t seed);
-  ~FloodingNode() override;
+  ~FloodingNode();
 
   FloodingNode(const FloodingNode&) = delete;
   FloodingNode& operator=(const FloodingNode&) = delete;
 
   void start();
   void stop();
-  bool running() const { return running_; }
+  bool running() const { return ctx_.running; }
 
   /// Floods `payload` toward `destination` (net::kBroadcast floods to all).
   bool send(net::Address destination, std::vector<std::uint8_t> payload);
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
-  net::Address address() const { return address_; }
-  const FloodStats& stats() const { return stats_; }
-
-  // RadioListener
-  void on_frame_received(const std::vector<std::uint8_t>& frame,
-                         const radio::FrameMeta& meta) override;
-  void on_tx_done() override;
-  void on_cad_done(bool channel_active) override;
+  net::Address address() const { return ctx_.address; }
+  /// Flood-vocabulary view of the shared NodeStats counters.
+  const FloodStats& stats() const;
 
  private:
-  struct Flood {
-    net::Address dst = net::kBroadcast;
-    net::Address origin = net::kUnassigned;
-    std::uint16_t packet_id = 0;
-    std::uint8_t ttl = 0;
-    std::uint8_t hops = 0;
-    std::vector<std::uint8_t> payload;
-  };
+  static net::MeshConfig to_mesh_config(const FloodConfig& config);
+  void deliver(net::Packet packet);
 
-  static std::vector<std::uint8_t> encode(const Flood& f);
-  static std::optional<Flood> decode(const std::vector<std::uint8_t>& frame);
-
-  bool seen_before(net::Address origin, std::uint16_t packet_id);
-  bool enqueue(Flood f);
-  void pump();
-  void channel_busy_backoff();
-  void transmit_now();
-
-  sim::Simulator& sim_;
-  radio::Radio& radio_;
-  const net::Address address_;
-  FloodConfig config_;
-  Rng rng_;
-  net::DutyCycleLimiter duty_;
-  FloodStats stats_;
+  net::LayerContext ctx_;
+  net::LinkLayer link_;
+  net::NetworkLayer network_;
   Handler handler_;
 
-  bool running_ = false;
-  enum class TxPhase : std::uint8_t { Idle, WaitingDuty, Cad, Backoff, Transmitting };
-  TxPhase tx_phase_ = TxPhase::Idle;
-  std::deque<Flood> queue_;
-  std::optional<Flood> current_;
-  int cad_attempts_ = 0;
-  sim::TimerId pipeline_timer_ = 0;
-  std::uint16_t next_packet_id_ = 1;
-
-  std::set<std::pair<net::Address, std::uint16_t>> seen_;
-  std::deque<std::pair<net::Address, std::uint16_t>> seen_order_;
+  std::uint64_t delivered_ = 0;
+  mutable FloodStats stats_;  // materialized view, refreshed by stats()
 };
 
 }  // namespace lm::baseline

@@ -1,0 +1,66 @@
+#include "net/flooding_strategy.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace lm::net {
+
+bool FloodingStrategy::seen_before(Address origin, std::uint16_t packet_id) {
+  const auto key = std::pair{origin, packet_id};
+  if (seen_.contains(key)) return true;
+  seen_.insert(key);
+  seen_order_.push_back(key);
+  while (seen_order_.size() > config_.dedup_cache) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return false;
+}
+
+void FloodingStrategy::handle(Packet packet) {
+  RouteHeader* route = route_of(packet);
+  LM_ASSERT(route != nullptr);
+  if (route->origin == ctx_->address) return;  // our own flood relayed back
+  if (seen_before(route->origin, route->packet_id)) {
+    duplicates_suppressed_++;
+    if (ctx_->tracer != nullptr) {
+      ctx_->trace_packet(trace::EventKind::Drop, packet,
+                         trace::DropReason::Duplicate);
+    }
+    return;
+  }
+  if (route->final_dst == ctx_->address) {
+    deliver_(std::move(packet));  // unicast reached its target: stop here
+    return;
+  }
+  if (route->final_dst == kBroadcast) {
+    deliver_(Packet{packet});  // deliver a copy, then keep flooding
+  }
+  if (route->ttl <= 1) {
+    ctx_->stats.dropped_ttl++;
+    if (ctx_->tracer != nullptr) {
+      ctx_->trace_packet(trace::EventKind::Drop, packet,
+                         trace::DropReason::TtlExpired);
+    }
+    return;
+  }
+  route->ttl--;
+  route->hops++;
+  LinkHeader& link = link_of(packet);
+  link.src = ctx_->address;
+  link.dst = kBroadcast;
+  ctx_->stats.packets_forwarded++;
+  if (ctx_->tracer != nullptr) {
+    ctx_->trace_packet(trace::EventKind::Forward, packet);
+  }
+  const bool control = is_control_plane(packet);
+  const Duration jitter = Duration::from_seconds(ctx_->rng.uniform(
+      0.0, std::max(config_.rebroadcast_jitter.seconds_d(), 1e-4)));
+  ctx_->sim.schedule_after(jitter,
+                           [this, control, p = std::move(packet)]() mutable {
+                             if (ctx_->running) link_->enqueue(std::move(p), control);
+                           });
+}
+
+}  // namespace lm::net

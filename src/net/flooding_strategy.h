@@ -1,0 +1,65 @@
+// FloodingStrategy — controlled flooding over the shared layer stack.
+//
+// The natural alternative to distance-vector routing on tiny LoRa nodes:
+// every node rebroadcasts every new packet once (TTL-limited,
+// duplicate-suppressed, with random relay jitter to break relay
+// synchronization). No routing state or beacons, paid for in airtime —
+// exactly the trade-off E4 quantifies against LoRaMesher. Replaces the old
+// standalone baseline::FloodingNode protocol engine; the baseline node is
+// now a facade over LinkLayer + NetworkLayer(FloodingStrategy).
+//
+// Caveat shared with real managed-flood networks (e.g. Meshtastic): the
+// (origin, packet_id) dedup cache also suppresses end-to-end
+// *retransmissions* that reuse their packet_id, so the ARQ transports are
+// only useful over flooding within direct range.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "net/routing_strategy.h"
+
+namespace lm::net {
+
+struct FloodingStrategyConfig {
+  /// Random delay before relaying, desynchronizing parallel relays (the
+  /// dominant collision source in flooding).
+  Duration rebroadcast_jitter = Duration::milliseconds(500);
+  /// Remembered (origin, packet_id) pairs for duplicate suppression.
+  std::size_t dedup_cache = 512;
+};
+
+class FloodingStrategy final : public RoutingStrategy {
+ public:
+  explicit FloodingStrategy(FloodingStrategyConfig config = {})
+      : config_(config) {}
+
+  const char* name() const override { return "flooding"; }
+
+  /// Flooding reaches whoever is reachable; there is nothing to know ahead
+  /// of time, so originations are always admitted.
+  bool has_route(Address) const override { return true; }
+  bool allows_broadcast_destination() const override { return true; }
+
+  /// No routing plane: beacons from distance-vector nodes sharing the
+  /// channel are ignored.
+  void on_routing(const RoutingPacket&) override {}
+  void handle(Packet packet) override;
+  std::optional<Address> resolve_next_hop(const RouteHeader&) override {
+    return kBroadcast;  // every transmission is a local broadcast
+  }
+
+  std::uint64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+ private:
+  bool seen_before(Address origin, std::uint16_t packet_id);
+
+  FloodingStrategyConfig config_;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::set<std::pair<Address, std::uint16_t>> seen_;
+  std::deque<std::pair<Address, std::uint16_t>> seen_order_;
+};
+
+}  // namespace lm::net

@@ -1,0 +1,95 @@
+// LayerContext — the per-node state shared by every layer of the protocol
+// stack (link / network / transport) and the MeshNode facade that owns them.
+//
+// The stack is deliberately built around ONE context object instead of
+// per-layer copies: a node has exactly one RNG stream (so jitter and backoff
+// draws interleave deterministically regardless of which layer draws), one
+// stats block, one config, one running flag and one tracer hook. Splitting
+// any of these per layer would change RNG draw order or stats attribution
+// and break byte-identical replay against the golden traces.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.h"
+#include "net/config.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "trace/trace_sink.h"
+
+namespace lm::net {
+
+/// Cumulative per-node protocol counters.
+struct NodeStats {
+  // Control plane.
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t beacons_received = 0;
+  std::uint64_t routing_changes = 0;  // beacons that changed the table
+  // Data plane.
+  std::uint64_t datagrams_sent = 0;       // originated here
+  std::uint64_t datagrams_delivered = 0;  // consumed here as final destination
+  std::uint64_t broadcasts_sent = 0;
+  std::uint64_t broadcasts_delivered = 0;
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t foreign_frames = 0;  // overheard unicast for someone else
+  std::uint64_t beacons_ignored_low_quality = 0;  // link-quality gating
+  // Channel access.
+  std::uint64_t cad_busy_events = 0;
+  std::uint64_t forced_transmissions = 0;  // CAD retries exhausted
+  std::uint64_t duty_cycle_delays = 0;
+  // Byte/airtime accounting, split by plane (E3 overhead decomposition):
+  // control = ROUTING + ARQ control; data = DATA + FRAGMENT.
+  std::uint64_t control_bytes_sent = 0;
+  std::uint64_t data_bytes_sent = 0;
+  Duration control_airtime;
+  Duration data_airtime;
+  // Acked datagrams.
+  std::uint64_t acked_sent = 0;          // originated here
+  std::uint64_t acked_confirmed = 0;     // ACK came back
+  std::uint64_t acked_failed = 0;        // retries exhausted
+  std::uint64_t acked_retransmissions = 0;
+  std::uint64_t acked_delivered = 0;     // consumed here (deduplicated)
+  std::uint64_t acked_duplicates = 0;    // retransmissions we had already seen
+  std::uint64_t acks_sent = 0;
+  // Reliable transfers.
+  std::uint64_t transfers_started = 0;
+  std::uint64_t transfers_completed = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t transfers_received = 0;
+  std::uint64_t rx_sessions_rejected = 0;  // SYNCs refused at the session cap
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t fragments_retransmitted = 0;
+};
+
+struct LayerContext {
+  sim::Simulator& sim;
+  const Address address;
+  /// Owned copy: the link layer shrinks max_fragment_payload to the dwell
+  /// cap at construction, and every layer reads the same adjusted values.
+  MeshConfig config;
+  /// The node's single randomness stream (jitter, backoff, retry fuzz,
+  /// session seeds). All layers draw from here, in event order.
+  Rng rng;
+  NodeStats stats;
+  /// Flight recorder; null = detached. Instrumentation sites guard on this
+  /// pointer so the untraced hot path never evaluates arguments.
+  trace::Tracer* tracer = nullptr;
+  bool running = false;
+
+  // Flight-recorder plumbing shared by all layers. Callers guard on
+  // tracer != nullptr.
+  void trace_packet(trace::EventKind kind, const Packet& packet,
+                    trace::DropReason reason = trace::DropReason::None,
+                    std::int64_t aux_us = 0, double value = 0.0);
+  void trace_refusal(PacketType type, Address dst, std::size_t bytes,
+                     trace::DropReason reason);
+  /// NodeUp / NodeDown lifecycle marks.
+  void trace_lifecycle(trace::EventKind kind);
+};
+
+}  // namespace lm::net

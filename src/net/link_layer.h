@@ -1,0 +1,130 @@
+// LinkLayer — the radio-facing half of the node, the paper's "service loop"
+// arbitrating one half-duplex LoRa transceiver.
+//
+// Owns everything between a queued Packet and the antenna:
+//  * the two-priority transmit queue (control before data);
+//  * soft carrier sense + CAD listen-before-talk with exponential random
+//    backoff, and the forced transmission after max_cad_retries;
+//  * the sliding-window duty-cycle budget (DutyCycleLimiter) that defers
+//    over-budget transmissions;
+//  * the US915-style dwell cap on frame size;
+//  * RX-default radio control, including duty-cycled listening (rx_duty);
+//  * per-neighbor smoothed SNR margin, fed by every decoded frame.
+//
+// The layer knows nothing about routing or sessions: next hops are resolved
+// through Callbacks::resolve_next_hop and inbound packets are handed up via
+// Callbacks::on_packet, keeping all includes pointing downward.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/duty_cycle.h"
+#include "net/layer_context.h"
+#include "net/packet.h"
+#include "radio/radio_interface.h"
+#include "sim/simulator.h"
+
+namespace lm::net {
+
+class LinkLayer final : public radio::RadioListener {
+ public:
+  /// Upcalls into the rest of the stack. std::function (rather than an
+  /// interface) lets the facade wire layers together without upward
+  /// includes; all four are invoked on the simulator thread only.
+  struct Callbacks {
+    /// Late next-hop resolution for packets queued with dst == kUnassigned.
+    /// nullopt drops the packet (route lost while queued).
+    std::function<std::optional<Address>(const RouteHeader&)> resolve_next_hop;
+    /// A decoded, addressed-to-us (or broadcast) packet arrived.
+    std::function<void(Packet)> on_packet;
+    /// A frame finished transmitting (fragment pacing, session GC).
+    std::function<void(const Packet&)> on_sent;
+    /// A queued packet was dropped before the air (queue full, route lost).
+    std::function<void(const Packet&)> on_dropped;
+  };
+
+  /// Installs itself as the radio's listener; applies the max_dwell_time
+  /// frame cap to ctx.config.max_fragment_payload.
+  LinkLayer(LayerContext& ctx, radio::Radio& radio, Callbacks callbacks);
+  ~LinkLayer() override;
+
+  LinkLayer(const LinkLayer&) = delete;
+  LinkLayer& operator=(const LinkLayer&) = delete;
+
+  // --- Lifecycle (driven by the owning facade) -------------------------------
+  /// Opens the receive window and starts listening.
+  void enter_receive();
+  /// Starts the duty-cycled listening alternation (no-op at rx_duty == 1).
+  void schedule_rx_cycle();
+  /// Cancels pipeline/rx-cycle timers (facade stop()).
+  void cancel_timers();
+  /// Drops all queued traffic (facade stop()).
+  void clear_queues();
+  /// Parks the radio after stop(): mid-TX/CAD radios settle in their
+  /// completion callbacks instead.
+  void settle_radio();
+
+  // --- TX entry point --------------------------------------------------------
+  /// Queues one packet with the given priority. False when stopped or the
+  /// queue is full (the drop is traced and reported via on_dropped).
+  bool enqueue(Packet packet, bool control);
+
+  // --- Introspection ---------------------------------------------------------
+  std::size_t queued_packets() const {
+    return control_queue_.size() + data_queue_.size();
+  }
+  /// Dwell-capped frame size (kMaxPhyPayload when no dwell limit is set).
+  std::size_t max_frame_bytes() const { return max_frame_bytes_; }
+  const DutyCycleLimiter& duty_cycle() const { return duty_; }
+  /// Smoothed SNR margin (dB above the demodulation floor) of frames heard
+  /// from `neighbor`; nullopt before the first frame.
+  std::optional<double> snr_margin_db(Address neighbor) const;
+
+  // --- RadioListener ---------------------------------------------------------
+  void on_frame_received(const std::vector<std::uint8_t>& frame,
+                         const radio::FrameMeta& meta) override;
+  void on_tx_done() override;
+  void on_cad_done(bool channel_active) override;
+
+ private:
+  enum class TxPhase : std::uint8_t {
+    Idle,         // nothing being transmitted
+    WaitingDuty,  // head-of-line packet deferred by the duty-cycle limiter
+    Cad,          // listen-before-talk in progress
+    Backoff,      // channel was busy; waiting a random interval
+    Transmitting, // frame on the air
+  };
+
+  struct Outgoing {
+    Packet packet;
+    int cad_attempts = 0;
+  };
+
+  void pump();
+  void channel_busy_backoff();
+  void transmit_now();
+  void resume_radio();
+
+  LayerContext& ctx_;
+  radio::Radio& radio_;
+  Callbacks callbacks_;
+  DutyCycleLimiter duty_;
+
+  TxPhase tx_phase_ = TxPhase::Idle;
+  std::deque<Packet> control_queue_;
+  std::deque<Packet> data_queue_;
+  std::optional<Outgoing> current_;
+  sim::TimerId pipeline_timer_ = 0;  // duty-wait or backoff wakeup
+  sim::TimerId rx_cycle_timer_ = 0;  // duty-cycled listening toggles
+  bool rx_window_open_ = true;       // whether the schedule says "listen"
+  std::size_t max_frame_bytes_ = 255;  // dwell-capped frame size
+
+  std::map<Address, double> neighbor_snr_margin_;  // EWMA, dB above floor
+};
+
+}  // namespace lm::net

@@ -1,29 +1,18 @@
 #include "net/mesh_node.h"
 
-#include <algorithm>
+#include <utility>
+#include <variant>
 
-#include "phy/airtime.h"
+#include "net/distance_vector_strategy.h"
 #include "support/assert.h"
-#include "support/log.h"
 
 namespace lm::net {
 
 namespace {
-constexpr const char* kTag = "mesh";
-}
 
-MeshNode::MeshNode(sim::Simulator& sim, radio::Radio& radio,
-                   Address address, MeshConfig config, std::uint64_t seed)
-    : sim_(sim),
-      radio_(radio),
-      address_(address),
-      config_(config),
-      rng_(seed),
-      table_(address,
-             config.hello_interval *
-                 static_cast<std::int64_t>(config.route_timeout_intervals),
-             kInfiniteMetric, config.role),
-      duty_(config.duty_cycle_limit, config.duty_cycle_window) {
+// Contract checks run before any layer construction (the link layer's dwell
+// fit assumes a sane config).
+MeshConfig validated(const MeshConfig& config, Address address) {
   LM_REQUIRE(address != kUnassigned && address != kBroadcast);
   LM_REQUIRE(config.hello_interval > Duration::zero());
   LM_REQUIRE(config.route_timeout_intervals >= 2);
@@ -31,948 +20,179 @@ MeshNode::MeshNode(sim::Simulator& sim, radio::Radio& radio,
              config.max_fragment_payload <= kMaxFragmentPayload);
   LM_REQUIRE(config.rx_duty > 0.0 && config.rx_duty <= 1.0);
   LM_REQUIRE(config.rx_cycle_period > Duration::zero());
-
-  // US915-style dwell rule: cap the frame size so every transmission fits,
-  // and shrink reliable-transfer fragments to match.
-  max_frame_bytes_ = phy::kMaxPhyPayload;
-  if (config_.max_dwell_time > Duration::zero()) {
-    std::size_t fit = 0;
-    for (std::size_t bytes = phy::kMaxPhyPayload;; --bytes) {
-      if (phy::time_on_air(radio_.modulation(), bytes) <= config_.max_dwell_time) {
-        fit = bytes;
-        break;
-      }
-      if (bytes == 0) break;
-    }
-    LM_REQUIRE(fit >= kLinkHeaderSize + kRouteHeaderSize + 4 &&
-               "max_dwell_time leaves no usable frame at this modulation");
-    max_frame_bytes_ = fit;
-    const std::size_t fragment_fit =
-        max_frame_bytes_ - kLinkHeaderSize - kRouteHeaderSize - 3;
-    config_.max_fragment_payload =
-        std::min(config_.max_fragment_payload, fragment_fit);
-  }
-  radio_.set_listener(this);
+  return config;
 }
 
+std::unique_ptr<RoutingStrategy> default_strategy(
+    std::unique_ptr<RoutingStrategy> strategy) {
+  if (strategy != nullptr) return strategy;
+  return std::make_unique<DistanceVectorStrategy>();
+}
+
+}  // namespace
+
+MeshNode::MeshNode(sim::Simulator& sim, radio::Radio& radio, Address address,
+                   MeshConfig config, std::uint64_t seed,
+                   std::unique_ptr<RoutingStrategy> strategy)
+    : radio_(radio),
+      ctx_{sim,           address, validated(config, address),
+           Rng(seed),     NodeStats{},
+           /*tracer=*/nullptr,     /*running=*/false},
+      link_(ctx_, radio,
+            LinkLayer::Callbacks{
+                [this](const RouteHeader& route) {
+                  return network_.resolve_next_hop(route);
+                },
+                [this](Packet packet) { network_.on_packet(std::move(packet)); },
+                [this](const Packet& packet) {
+                  transport_.notify_fragment_progress(packet);
+                  transport_.gc_sessions();
+                },
+                [this](const Packet& packet) {
+                  transport_.notify_fragment_progress(packet);
+                }}),
+      network_(ctx_, link_, default_strategy(std::move(strategy)),
+               [this](Packet packet) { deliver(std::move(packet)); }),
+      transport_(ctx_, link_, network_,
+                 TransportLayer::Delivery{
+                     [this](Address origin,
+                            const std::vector<std::uint8_t>& payload,
+                            std::uint8_t hops) {
+                       if (datagram_handler_) datagram_handler_(origin, payload, hops);
+                     },
+                     [this](Address origin, std::vector<std::uint8_t> payload) {
+                       if (reliable_handler_) reliable_handler_(origin, std::move(payload));
+                     }}) {}
+
 MeshNode::~MeshNode() {
-  if (beacon_timer_ != 0) sim_.cancel(beacon_timer_);
-  if (maintenance_timer_ != 0) sim_.cancel(maintenance_timer_);
-  if (pipeline_timer_ != 0) sim_.cancel(pipeline_timer_);
-  for (auto& [id, pending] : pending_acks_) {
-    if (pending.timer != 0) sim_.cancel(pending.timer);
-  }
-  radio_.set_listener(nullptr);
+  if (maintenance_timer_ != 0) ctx_.sim.cancel(maintenance_timer_);
 }
 
 // --- Lifecycle ----------------------------------------------------------------
 
 void MeshNode::start() {
-  LM_REQUIRE(!running_);
-  running_ = true;
-  rx_window_open_ = true;
-  radio_.start_receive();
-  schedule_next_beacon(/*first=*/true);
+  LM_REQUIRE(!ctx_.running);
+  ctx_.running = true;
+  link_.enter_receive();
+  network_.start();
   start_maintenance_loop();
-  schedule_rx_cycle();
-  if (tracer_ != nullptr) {
-    trace::TraceEvent e;
-    e.t_us = sim_.now().us();
-    e.node = address_;
-    e.kind = trace::EventKind::NodeUp;
-    tracer_->emit(e);
+  link_.schedule_rx_cycle();
+  if (ctx_.tracer != nullptr) {
+    ctx_.trace_lifecycle(trace::EventKind::NodeUp);
   }
 }
 
+void MeshNode::stop() {
+  if (!ctx_.running) return;
+  ctx_.running = false;
+  if (ctx_.tracer != nullptr) {
+    ctx_.trace_lifecycle(trace::EventKind::NodeDown);
+  }
+  network_.stop();
+  if (maintenance_timer_ != 0) {
+    ctx_.sim.cancel(maintenance_timer_);
+    maintenance_timer_ = 0;
+  }
+  link_.cancel_timers();
+  link_.clear_queues();
+  transport_.shutdown();
+  link_.settle_radio();
+}
+
+void MeshNode::start_maintenance_loop() {
+  maintenance_timer_ =
+      ctx_.sim.schedule_after(ctx_.config.maintenance_interval, [this] {
+        maintenance_timer_ = 0;
+        if (!ctx_.running) return;
+        network_.table().expire(ctx_.sim.now());
+        transport_.gc_sessions();
+        start_maintenance_loop();
+      });
+}
+
 void MeshNode::set_tracer(trace::Tracer* tracer) {
-  tracer_ = tracer;
+  ctx_.tracer = tracer;
   if (tracer == nullptr) {
-    table_.set_observer(nullptr);
+    network_.table().set_observer(nullptr);
     return;
   }
-  table_.set_observer([this](const RouteEntry& entry) {
-    if (tracer_ == nullptr) return;
+  network_.table().set_observer([this](const RouteEntry& entry) {
+    if (ctx_.tracer == nullptr) return;
     trace::TraceEvent e;
-    e.t_us = sim_.now().us();
-    e.node = address_;
+    e.t_us = ctx_.sim.now().us();
+    e.node = ctx_.address;
     e.kind = trace::EventKind::RouteAdd;
     e.final_dst = entry.destination;
     e.via = entry.via;
     e.bytes = entry.metric;
-    tracer_->emit(e);
+    ctx_.tracer->emit(e);
   });
-}
-
-void MeshNode::trace_packet(trace::EventKind kind, const Packet& packet,
-                            trace::DropReason reason, std::int64_t aux_us,
-                            double value) {
-  trace::TraceEvent e;
-  e.t_us = sim_.now().us();
-  e.node = address_;
-  e.kind = kind;
-  e.reason = reason;
-  const LinkHeader& link = link_of(packet);
-  e.packet_type = static_cast<std::uint8_t>(link.type);
-  e.via = link.dst;
-  if (const RouteHeader* route = route_of(packet)) {
-    e.origin = route->origin;
-    e.final_dst = route->final_dst;
-    e.hops = route->hops;
-    e.ttl = route->ttl;
-    e.packet_id = route->packet_id;
-  } else {
-    e.origin = link.src;  // routing beacons carry no route header
-  }
-  e.bytes = static_cast<std::uint32_t>(encoded_size(packet));
-  e.aux_us = aux_us;
-  e.value = value;
-  tracer_->emit(e);
-}
-
-void MeshNode::trace_refusal(PacketType type, Address dst, std::size_t bytes,
-                             trace::DropReason reason) {
-  trace::TraceEvent e;
-  e.t_us = sim_.now().us();
-  e.node = address_;
-  e.kind = trace::EventKind::Drop;
-  e.reason = reason;
-  e.packet_type = static_cast<std::uint8_t>(type);
-  e.origin = address_;
-  e.final_dst = dst;
-  e.bytes = static_cast<std::uint32_t>(bytes);
-  tracer_->emit(e);
-}
-
-void MeshNode::resume_radio() {
-  // After TX/CAD/drops, return to whatever the receiver schedule says:
-  // listening, or (in a sleep window of duty-cycled listening) sleeping.
-  if (!running_) return;
-  if (rx_window_open_) {
-    if (radio_.state() == radio::RadioState::Standby ||
-        radio_.state() == radio::RadioState::Sleep) {
-      radio_.start_receive();
-    }
-  } else if (radio_.state() == radio::RadioState::Standby ||
-             radio_.state() == radio::RadioState::Rx) {
-    radio_.sleep();
-  }
-}
-
-void MeshNode::schedule_rx_cycle() {
-  if (config_.rx_duty >= 1.0) return;
-  const Duration on = config_.rx_cycle_period * config_.rx_duty;
-  const Duration off = config_.rx_cycle_period - on;
-  const Duration next = rx_window_open_ ? on : off;
-  rx_cycle_timer_ = sim_.schedule_after(next, [this] {
-    rx_cycle_timer_ = 0;
-    if (!running_) return;
-    rx_window_open_ = !rx_window_open_;
-    // Never interrupt an active TX/CAD; resume_radio applies the schedule
-    // when they complete.
-    if (tx_phase_ == TxPhase::Idle || tx_phase_ == TxPhase::Backoff ||
-        tx_phase_ == TxPhase::WaitingDuty) {
-      resume_radio();
-    }
-    schedule_rx_cycle();
-  });
-}
-
-void MeshNode::start_maintenance_loop() {
-  maintenance_timer_ = sim_.schedule_after(config_.maintenance_interval, [this] {
-    maintenance_timer_ = 0;
-    if (!running_) return;
-    table_.expire(sim_.now());
-    gc_sessions();
-    start_maintenance_loop();
-  });
-}
-
-void MeshNode::stop() {
-  if (!running_) return;
-  running_ = false;
-  if (tracer_ != nullptr) {
-    trace::TraceEvent e;
-    e.t_us = sim_.now().us();
-    e.node = address_;
-    e.kind = trace::EventKind::NodeDown;
-    tracer_->emit(e);
-  }
-  for (sim::TimerId* t : {&beacon_timer_, &maintenance_timer_, &pipeline_timer_,
-                          &rx_cycle_timer_}) {
-    if (*t != 0) {
-      sim_.cancel(*t);
-      *t = 0;
-    }
-  }
-  control_queue_.clear();
-  data_queue_.clear();
-  // Outstanding sends fail now; receive sessions just disappear (their
-  // senders will give up after their poll budget).
-  for (auto& [key, sender] : tx_sessions_) sender->abort();
-  tx_sessions_.clear();
-  rx_sessions_.clear();
-  while (!pending_acks_.empty()) {
-    finish_acked(pending_acks_.begin()->first, false);
-  }
-  if (tx_phase_ != TxPhase::Transmitting) {
-    current_.reset();
-    tx_phase_ = TxPhase::Idle;
-  }
-  // Mid-TX and mid-CAD radios settle in on_tx_done / on_cad_done.
-  const radio::RadioState s = radio_.state();
-  if (s == radio::RadioState::Rx || s == radio::RadioState::Standby) {
-    radio_.sleep();
-  }
 }
 
 // --- Application API ------------------------------------------------------------
 
 RouteHeader MeshNode::make_route(Address final_dst) {
-  RouteHeader r;
-  r.final_dst = final_dst;
-  r.origin = address_;
-  r.ttl = config_.max_ttl;
-  r.hops = 0;
-  r.packet_id = next_packet_id_++;
-  return r;
+  return network_.make_route(final_dst);
 }
 
-bool MeshNode::send_datagram(Address destination, std::vector<std::uint8_t> payload,
+bool MeshNode::send_datagram(Address destination,
+                             std::vector<std::uint8_t> payload,
                              trace::DropReason* why) {
-  const auto refuse = [&](trace::DropReason reason) {
-    if (why != nullptr) *why = reason;
-    if (tracer_ != nullptr) {
-      trace_refusal(PacketType::Data, destination, payload.size(), reason);
-    }
-    return false;
-  };
-  if (!running_) return refuse(trace::DropReason::NotRunning);
-  if (destination == address_ || destination == kUnassigned ||
-      destination == kBroadcast) {
-    return refuse(trace::DropReason::InvalidDestination);
-  }
-  if (payload.size() > max_datagram_payload()) {
-    return refuse(trace::DropReason::PayloadTooLarge);
-  }
-  if (!table_.has_route(destination)) {
-    stats_.dropped_no_route++;
-    return refuse(trace::DropReason::NoRoute);
-  }
-  DataPacket p;
-  p.link = LinkHeader{kUnassigned, address_, PacketType::Data};
-  p.route = make_route(destination);
-  p.payload = std::move(payload);
-  Packet packet{std::move(p)};
-  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, packet);
-  if (!enqueue(std::move(packet), /*control=*/false)) {
-    if (why != nullptr) *why = trace::DropReason::QueueFull;
-    return false;
-  }
-  stats_.datagrams_sent++;
-  return true;
+  return network_.send_datagram(destination, std::move(payload), why);
 }
 
 bool MeshNode::send_broadcast(std::vector<std::uint8_t> payload,
                               trace::DropReason* why) {
-  const auto refuse = [&](trace::DropReason reason) {
-    if (why != nullptr) *why = reason;
-    if (tracer_ != nullptr) {
-      trace_refusal(PacketType::Data, kBroadcast, payload.size(), reason);
-    }
-    return false;
-  };
-  if (!running_) return refuse(trace::DropReason::NotRunning);
-  if (payload.size() > max_datagram_payload()) {
-    return refuse(trace::DropReason::PayloadTooLarge);
-  }
-  DataPacket p;
-  p.link = LinkHeader{kBroadcast, address_, PacketType::Data};
-  p.route.final_dst = kBroadcast;
-  p.route.origin = address_;
-  p.route.ttl = 1;  // single hop by design
-  p.route.packet_id = next_packet_id_++;
-  p.payload = std::move(payload);
-  Packet packet{std::move(p)};
-  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, packet);
-  if (!enqueue(std::move(packet), /*control=*/false)) {
-    if (why != nullptr) *why = trace::DropReason::QueueFull;
-    return false;
-  }
-  stats_.broadcasts_sent++;
-  return true;
+  return network_.send_broadcast(std::move(payload), why);
 }
 
 bool MeshNode::send_acked(Address destination, std::vector<std::uint8_t> payload,
                           SendCallback done, trace::DropReason* why) {
-  const auto refuse = [&](trace::DropReason reason) {
-    if (why != nullptr) *why = reason;
-    if (tracer_ != nullptr) {
-      trace_refusal(PacketType::AckedData, destination, payload.size(), reason);
-    }
-    return false;
-  };
-  if (!running_) return refuse(trace::DropReason::NotRunning);
-  if (destination == address_ || destination == kUnassigned ||
-      destination == kBroadcast) {
-    return refuse(trace::DropReason::InvalidDestination);
-  }
-  if (payload.size() > max_datagram_payload()) {
-    return refuse(trace::DropReason::PayloadTooLarge);
-  }
-  if (!table_.has_route(destination)) {
-    stats_.dropped_no_route++;
-    return refuse(trace::DropReason::NoRoute);
-  }
-  AckedDataPacket p;
-  p.link = LinkHeader{kUnassigned, address_, PacketType::AckedData};
-  p.route = make_route(destination);
-  p.payload = std::move(payload);
-  const std::uint16_t id = p.route.packet_id;
-  LM_ASSERT(!pending_acks_.contains(id));  // 16-bit id space, tiny windows
-  if (tracer_ != nullptr) trace_packet(trace::EventKind::AppSubmit, Packet{p});
-  PendingAck pending;
-  pending.packet = std::move(p);
-  pending.done = std::move(done);
-  pending_acks_.emplace(id, std::move(pending));
-  stats_.acked_sent++;
-  transmit_acked_attempt(id);
-  return true;
+  return transport_.send_acked(destination, std::move(payload), std::move(done),
+                               why);
 }
 
-void MeshNode::transmit_acked_attempt(std::uint16_t packet_id) {
-  const auto it = pending_acks_.find(packet_id);
-  LM_ASSERT(it != pending_acks_.end());
-  it->second.attempts++;
-  // Fresh copy per attempt: the queue owns (and resolves) its own instance.
-  enqueue(Packet{it->second.packet}, /*control=*/false);
-  // Jittered retry: simultaneous senders must not retransmit in lockstep.
-  it->second.timer = sim_.schedule_after(
-      config_.acked_retry_timeout * rng_.uniform(0.9, 1.4),
-      [this, packet_id] { on_acked_timeout(packet_id); });
-}
-
-void MeshNode::on_acked_timeout(std::uint16_t packet_id) {
-  const auto it = pending_acks_.find(packet_id);
-  if (it == pending_acks_.end()) return;
-  it->second.timer = 0;
-  if (it->second.attempts > config_.acked_max_retries) {
-    finish_acked(packet_id, false);
-    return;
-  }
-  stats_.acked_retransmissions++;
-  if (tracer_ != nullptr) {
-    trace_packet(trace::EventKind::AckedRetry, Packet{it->second.packet},
-                 trace::DropReason::None, it->second.attempts);
-  }
-  transmit_acked_attempt(packet_id);
-}
-
-void MeshNode::finish_acked(std::uint16_t packet_id, bool success) {
-  const auto it = pending_acks_.find(packet_id);
-  if (it == pending_acks_.end()) return;
-  if (it->second.timer != 0) sim_.cancel(it->second.timer);
-  if (tracer_ != nullptr) {
-    trace_packet(success ? trace::EventKind::AckedConfirmed
-                         : trace::EventKind::Drop,
-                 Packet{it->second.packet},
-                 success ? trace::DropReason::None
-                         : trace::DropReason::RetriesExhausted);
-  }
-  SendCallback done = std::move(it->second.done);
-  pending_acks_.erase(it);
-  if (success) {
-    stats_.acked_confirmed++;
-  } else {
-    stats_.acked_failed++;
-  }
-  if (done) done(success);
-}
-
-bool MeshNode::acked_seen_before(Address origin, std::uint16_t packet_id) {
-  const auto key = std::pair{origin, packet_id};
-  if (acked_seen_.contains(key)) return true;
-  acked_seen_.insert(key);
-  acked_seen_order_.push_back(key);
-  while (acked_seen_order_.size() > config_.acked_dedup_cache) {
-    acked_seen_.erase(acked_seen_order_.front());
-    acked_seen_order_.pop_front();
-  }
-  return false;
-}
-
-bool MeshNode::send_reliable(Address destination, std::vector<std::uint8_t> payload,
+bool MeshNode::send_reliable(Address destination,
+                             std::vector<std::uint8_t> payload,
                              SendCallback done, trace::DropReason* why) {
-  const auto refuse = [&](trace::DropReason reason) {
-    if (why != nullptr) *why = reason;
-    if (tracer_ != nullptr) {
-      trace_refusal(PacketType::Sync, destination, payload.size(), reason);
-    }
-    return false;
-  };
-  if (!running_) return refuse(trace::DropReason::NotRunning);
-  if (destination == address_ || destination == kUnassigned ||
-      destination == kBroadcast) {
-    return refuse(trace::DropReason::InvalidDestination);
-  }
-  if (payload.empty() ||
-      payload.size() > config_.max_fragment_payload * 0xFFFFULL) {
-    return refuse(trace::DropReason::PayloadTooLarge);
-  }
-  if (!table_.has_route(destination)) {
-    stats_.dropped_no_route++;
-    return refuse(trace::DropReason::NoRoute);
-  }
-  // Allocate a transfer sequence number free for this destination.
-  std::optional<std::uint8_t> seq;
-  for (int i = 0; i < 256; ++i) {
-    const std::uint8_t candidate = next_transfer_seq_++;
-    if (!tx_sessions_.contains({destination, candidate})) {
-      seq = candidate;
-      break;
-    }
-  }
-  // 256 concurrent transfers to one peer exhausts the sequence space.
-  if (!seq) return refuse(trace::DropReason::SessionLimit);
-  stats_.transfers_started++;
-  if (tracer_ != nullptr) {
-    trace::TraceEvent e;
-    e.t_us = sim_.now().us();
-    e.node = address_;
-    e.kind = trace::EventKind::TransferStart;
-    e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
-    e.origin = address_;
-    e.final_dst = destination;
-    e.packet_id = *seq;
-    e.bytes = static_cast<std::uint32_t>(payload.size());
-    tracer_->emit(e);
-  }
-  auto completion = [this, done = std::move(done)](bool success) {
-    if (success) {
-      stats_.transfers_completed++;
-    } else {
-      stats_.transfers_failed++;
-    }
-    if (done) done(success);
-  };
-  tx_sessions_.emplace(
-      SessionKey{destination, *seq},
-      std::make_unique<ReliableSender>(sim_, *this, config_, destination, *seq,
-                                       std::move(payload), std::move(completion),
-                                       rng_.next_u64(), tracer_, address_));
-  return true;
+  return transport_.send_reliable(destination, std::move(payload),
+                                  std::move(done), why);
 }
 
 // --- PacketSink -------------------------------------------------------------------
 
 void MeshNode::submit_control(Packet packet) {
-  enqueue(std::move(packet), /*control=*/true);
+  transport_.submit_control(std::move(packet));
 }
 
 void MeshNode::submit_data(Packet packet) {
-  // enqueue() reports a dropped fragment back to its sender session
-  // (notify_fragment_progress), so a full queue cannot deadlock the
-  // sender's pacing loop; end-to-end repair recovers the payload.
-  enqueue(std::move(packet), /*control=*/false);
+  transport_.submit_data(std::move(packet));
 }
 
-// --- TX pipeline ------------------------------------------------------------------
+// --- Delivery dispatch ------------------------------------------------------------
 
-bool MeshNode::is_control_plane(const Packet& packet) const {
-  const PacketType t = link_of(packet).type;
-  return t != PacketType::Data && t != PacketType::Fragment &&
-         t != PacketType::AckedData;
-}
-
-bool MeshNode::enqueue(Packet packet, bool control) {
-  if (!running_) return false;
-  std::deque<Packet>& queue = control ? control_queue_ : data_queue_;
-  if (queue.size() >= config_.max_queue) {
-    stats_.dropped_queue_full++;
-    if (tracer_ != nullptr) {
-      trace_packet(trace::EventKind::QueueDrop, packet,
-                   trace::DropReason::QueueFull);
-    }
-    notify_fragment_progress(packet);
-    return false;
-  }
-  if (tracer_ != nullptr) trace_packet(trace::EventKind::Enqueue, packet);
-  queue.push_back(std::move(packet));
-  pump();
-  return true;
-}
-
-void MeshNode::pump() {
-  if (!running_ || tx_phase_ != TxPhase::Idle) return;
-  if (!current_) {
-    if (!control_queue_.empty()) {
-      current_ = Outgoing{std::move(control_queue_.front()), 0};
-      control_queue_.pop_front();
-    } else if (!data_queue_.empty()) {
-      current_ = Outgoing{std::move(data_queue_.front()), 0};
-      data_queue_.pop_front();
-    } else {
-      return;
-    }
-  }
-  const Duration airtime = phy::time_on_air(
-      radio_.modulation(), encoded_size(current_->packet));
-  const TimePoint now = sim_.now();
-  if (!duty_.allowed(now, airtime)) {
-    stats_.duty_cycle_delays++;
-    tx_phase_ = TxPhase::WaitingDuty;
-    const TimePoint when = duty_.next_allowed(now, airtime);
-    if (tracer_ != nullptr) {
-      trace_packet(trace::EventKind::DutyDefer, current_->packet,
-                   trace::DropReason::None, (when - now).us(),
-                   duty_.utilization(now));
-    }
-    pipeline_timer_ = sim_.schedule_at(when, [this] {
-      pipeline_timer_ = 0;
-      tx_phase_ = TxPhase::Idle;
-      pump();
-    });
-    return;
-  }
-  if (radio_.state() == radio::RadioState::Sleep) radio_.standby();
-  if (config_.use_cad) {
-    // Soft carrier sense first: if a frame is already inbound, starting CAD
-    // would abort its reception (the SX127x cannot CAD and receive at
-    // once). Back off without leaving Rx instead.
-    if (radio_.medium_busy()) {
-      channel_busy_backoff();
-      return;
-    }
-    tx_phase_ = TxPhase::Cad;
-    const bool started = radio_.start_cad();
-    LM_ASSERT(started);
-  } else {
-    transmit_now();
-  }
-}
-
-void MeshNode::channel_busy_backoff() {
-  LM_ASSERT(current_.has_value());
-  stats_.cad_busy_events++;
-  current_->cad_attempts++;
-  if (tracer_ != nullptr) {
-    trace_packet(trace::EventKind::CadBusy, current_->packet,
-                 trace::DropReason::None, current_->cad_attempts);
-  }
-  if (current_->cad_attempts > config_.max_cad_retries) {
-    // The channel never cleared; transmitting anyway beats starving, and the
-    // capture effect may still save one of the colliding frames.
-    stats_.forced_transmissions++;
-    if (tracer_ != nullptr) {
-      trace_packet(trace::EventKind::ForcedTx, current_->packet);
-    }
-    transmit_now();
-    return;
-  }
-  tx_phase_ = TxPhase::Backoff;
-  resume_radio();  // keep listening (schedule permitting) while backing off
-  const int exponent = std::min(current_->cad_attempts, 6);
-  Duration window = config_.backoff_base * (std::int64_t{1} << exponent);
-  if (window > config_.backoff_max) window = config_.backoff_max;
-  const Duration delay = Duration::from_seconds(
-      rng_.uniform(0.0, std::max(window.seconds_d(), 1e-4)));
-  pipeline_timer_ = sim_.schedule_after(delay, [this] {
-    pipeline_timer_ = 0;
-    tx_phase_ = TxPhase::Idle;
-    pump();
-  });
-}
-
-void MeshNode::on_cad_done(bool channel_active) {
-  if (!running_) {
-    radio_.sleep();
-    return;
-  }
-  LM_ASSERT(tx_phase_ == TxPhase::Cad);
-  LM_ASSERT(current_.has_value());
-  if (!channel_active) {
-    transmit_now();
-    return;
-  }
-  channel_busy_backoff();
-}
-
-void MeshNode::transmit_now() {
-  LM_ASSERT(current_.has_value());
-  Packet& packet = current_->packet;
-  LinkHeader& link = link_of(packet);
-  if (link.dst == kUnassigned) {
-    // Late next-hop resolution: routes may have changed while queued.
-    const RouteHeader* route = route_of(packet);
-    LM_ASSERT(route != nullptr);
-    const auto next = table_.next_hop(route->final_dst);
-    if (!next) {
-      stats_.dropped_no_route++;
-      if (tracer_ != nullptr) {
-        trace_packet(trace::EventKind::Drop, packet,
-                     trace::DropReason::NoRoute);
+void MeshNode::deliver(Packet packet) {
+  if (const auto* data = std::get_if<DataPacket>(&packet)) {
+    if (data->route.final_dst == kBroadcast) {
+      ctx_.stats.broadcasts_delivered++;
+      if (ctx_.tracer != nullptr) {
+        ctx_.trace_packet(trace::EventKind::Deliver, packet);
       }
-      notify_fragment_progress(packet);
-      current_.reset();
-      tx_phase_ = TxPhase::Idle;
-      resume_radio();
-      pump();
-      return;
-    }
-    link.dst = *next;
-  }
-  std::vector<std::uint8_t> frame = encode(packet);
-  const Duration airtime = phy::time_on_air(radio_.modulation(), frame.size());
-  if (is_control_plane(packet)) {
-    stats_.control_bytes_sent += frame.size();
-    stats_.control_airtime += airtime;
-  } else {
-    stats_.data_bytes_sent += frame.size();
-    stats_.data_airtime += airtime;
-    if (std::holds_alternative<FragmentPacket>(packet)) stats_.fragments_sent++;
-  }
-  duty_.record(sim_.now(), airtime);
-  tx_phase_ = TxPhase::Transmitting;
-  if (Logger::instance().enabled(LogLevel::Trace)) {
-    LM_TRACE(kTag, "%s tx %s", to_string(address_).c_str(),
-             describe(packet).c_str());
-  }
-  // MeshTx must directly precede the radio handoff: the channel emits
-  // TxStart at the same timestamp, and the analyzer pairs the two adjacent
-  // events to map tx_seq onto the packet identity.
-  if (tracer_ != nullptr) {
-    trace_packet(trace::EventKind::MeshTx, packet, trace::DropReason::None,
-                 airtime.us());
-  }
-  const bool started = radio_.transmit(std::move(frame));
-  LM_ASSERT(started);
-}
-
-void MeshNode::on_tx_done() {
-  LM_ASSERT(tx_phase_ == TxPhase::Transmitting);
-  LM_ASSERT(current_.has_value());
-  tx_phase_ = TxPhase::Idle;
-  const Outgoing sent = std::move(*current_);
-  current_.reset();
-  if (!running_) {
-    radio_.sleep();
-    return;
-  }
-  resume_radio();
-  notify_fragment_progress(sent.packet);
-  gc_sessions();
-  pump();
-}
-
-void MeshNode::notify_fragment_progress(const Packet& packet) {
-  const auto* fragment = std::get_if<FragmentPacket>(&packet);
-  if (fragment == nullptr || fragment->route.origin != address_) return;
-  const auto it = tx_sessions_.find({fragment->route.final_dst, fragment->seq});
-  if (it != tx_sessions_.end()) it->second->on_fragment_transmitted(fragment->index);
-}
-
-// --- RX pipeline -------------------------------------------------------------------
-
-void MeshNode::on_frame_received(const std::vector<std::uint8_t>& frame,
-                                 const radio::FrameMeta& meta) {
-  if (!running_) return;
-  auto decoded = decode(frame);
-  if (!decoded) {
-    stats_.malformed_frames++;
-    if (tracer_ != nullptr) {
-      trace::TraceEvent e;
-      e.t_us = sim_.now().us();
-      e.node = address_;
-      e.kind = trace::EventKind::Drop;
-      e.reason = trace::DropReason::Malformed;
-      e.bytes = static_cast<std::uint32_t>(frame.size());
-      tracer_->emit(e);
-    }
-    return;
-  }
-  const LinkHeader& link = link_of(*decoded);
-  if (link.src == address_) return;  // own echo; cannot happen on real radios
-
-  // Smoothed per-neighbor link quality, fed by every frame we decode from
-  // them (the receive-side SNR the SX127x reports per packet).
-  if (link.src != kUnassigned && link.src != kBroadcast) {
-    const double margin =
-        meta.snr_db - phy::snr_floor_db(radio_.modulation().sf);
-    const auto it = neighbor_snr_margin_.find(link.src);
-    if (it == neighbor_snr_margin_.end()) {
-      neighbor_snr_margin_.emplace(link.src, margin);
+      if (broadcast_handler_) broadcast_handler_(data->route.origin, data->payload);
     } else {
-      it->second += config_.snr_ewma_alpha * (margin - it->second);
-    }
-  }
-  if (link.dst != address_ && link.dst != kBroadcast) {
-    stats_.foreign_frames++;  // overheard unicast addressed elsewhere
-    return;
-  }
-  if (Logger::instance().enabled(LogLevel::Trace)) {
-    LM_TRACE(kTag, "%s rx %s", to_string(address_).c_str(),
-             describe(*decoded).c_str());
-  }
-  if (tracer_ != nullptr) {
-    trace_packet(trace::EventKind::RxFrame, *decoded, trace::DropReason::None,
-                 0, meta.snr_db);
-  }
-  handle_packet(std::move(*decoded));
-}
-
-void MeshNode::handle_packet(Packet packet) {
-  if (const auto* routing = std::get_if<RoutingPacket>(&packet)) {
-    handle_routing(*routing);
-    return;
-  }
-  const RouteHeader* route = route_of(packet);
-  LM_ASSERT(route != nullptr);
-  if (route->final_dst == kBroadcast) {
-    // Single-hop broadcast datagram: deliver, never forward.
-    if (const auto* data = std::get_if<DataPacket>(&packet)) {
-      stats_.broadcasts_delivered++;
-      if (tracer_ != nullptr) trace_packet(trace::EventKind::Deliver, packet);
-      if (broadcast_handler_) broadcast_handler_(route->origin, data->payload);
+      ctx_.stats.datagrams_delivered++;
+      if (ctx_.tracer != nullptr) {
+        ctx_.trace_packet(trace::EventKind::Deliver, packet);
+      }
+      if (datagram_handler_) {
+        // route.hops counts forwards; the app sees links traversed.
+        datagram_handler_(data->route.origin, data->payload,
+                          static_cast<std::uint8_t>(data->route.hops + 1));
+      }
     }
     return;
   }
-  if (route->final_dst == address_) {
-    consume(std::move(packet));
-  } else {
-    forward(std::move(packet));
-  }
-}
-
-void MeshNode::handle_routing(const RoutingPacket& packet) {
-  stats_.beacons_received++;
-  if (config_.require_link_quality) {
-    const auto margin = neighbor_snr_margin_db(packet.link.src);
-    if (!margin || *margin < config_.min_snr_margin_db) {
-      // Too weak to rely on: never let this neighbor become a next hop.
-      // Existing routes through it stop being refreshed and age out.
-      stats_.beacons_ignored_low_quality++;
-      return;
-    }
-  }
-  if (table_.apply_beacon(packet.link.src, packet.entries, sim_.now())) {
-    stats_.routing_changes++;
-  }
-}
-
-std::optional<double> MeshNode::neighbor_snr_margin_db(Address neighbor) const {
-  const auto it = neighbor_snr_margin_.find(neighbor);
-  if (it == neighbor_snr_margin_.end()) return std::nullopt;
-  return it->second;
-}
-
-std::size_t MeshNode::max_datagram_payload() const {
-  return max_frame_bytes_ - kLinkHeaderSize - kRouteHeaderSize;
-}
-
-void MeshNode::dispatch_to_sender(Address peer, std::uint8_t seq,
-                                  const std::function<void(ReliableSender&)>& fn) {
-  const auto it = tx_sessions_.find({peer, seq});
-  if (it == tx_sessions_.end()) return;  // stale control for a finished transfer
-  fn(*it->second);
-  gc_sessions();
-}
-
-void MeshNode::consume(Packet packet) {
-  std::visit(
-      [this, &packet](auto& p) {
-        using T = std::decay_t<decltype(p)>;
-        if constexpr (std::is_same_v<T, DataPacket>) {
-          stats_.datagrams_delivered++;
-          if (tracer_ != nullptr) {
-            trace_packet(trace::EventKind::Deliver, packet);
-          }
-          if (datagram_handler_) {
-            // route.hops counts forwards; the app sees links traversed.
-            datagram_handler_(p.route.origin, p.payload,
-                              static_cast<std::uint8_t>(p.route.hops + 1));
-          }
-        } else if constexpr (std::is_same_v<T, SyncPacket>) {
-          const SessionKey key{p.route.origin, p.seq};
-          auto it = rx_sessions_.find(key);
-          if (it != rx_sessions_.end() && it->second->expired()) {
-            rx_sessions_.erase(it);
-            it = rx_sessions_.end();
-          }
-          if (it != rx_sessions_.end()) {
-            it->second->on_sync(p);
-            return;
-          }
-          if (p.fragment_count == 0) return;  // malformed announcement
-          if (rx_sessions_.size() >= config_.max_rx_sessions) {
-            gc_sessions();  // expired sessions may be holding slots
-          }
-          if (rx_sessions_.size() >= config_.max_rx_sessions) {
-            stats_.rx_sessions_rejected++;
-            if (tracer_ != nullptr) {
-              trace_packet(trace::EventKind::Drop, packet,
-                           trace::DropReason::SessionLimit);
-            }
-            return;  // no SYNC_ACK: the sender will retry and may find room
-          }
-          auto delivery = [this, seq = p.seq](Address origin,
-                                              std::vector<std::uint8_t> payload) {
-            stats_.transfers_received++;
-            if (tracer_ != nullptr) {
-              trace::TraceEvent e;
-              e.t_us = sim_.now().us();
-              e.node = address_;
-              e.kind = trace::EventKind::Deliver;
-              e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
-              e.origin = origin;
-              e.final_dst = address_;
-              e.packet_id = seq;
-              e.bytes = static_cast<std::uint32_t>(payload.size());
-              tracer_->emit(e);
-            }
-            if (reliable_handler_) reliable_handler_(origin, std::move(payload));
-          };
-          rx_sessions_.emplace(
-              key, std::make_unique<ReliableReceiver>(
-                       sim_, *this, config_, p.route.origin, p,
-                       std::move(delivery), tracer_, address_));
-        } else if constexpr (std::is_same_v<T, FragmentPacket>) {
-          const auto it = rx_sessions_.find(SessionKey{p.route.origin, p.seq});
-          if (it != rx_sessions_.end()) it->second->on_fragment(p);
-        } else if constexpr (std::is_same_v<T, PollPacket>) {
-          const auto it = rx_sessions_.find(SessionKey{p.route.origin, p.seq});
-          if (it != rx_sessions_.end()) it->second->on_poll();
-        } else if constexpr (std::is_same_v<T, SyncAckPacket>) {
-          dispatch_to_sender(p.route.origin, p.seq,
-                             [](ReliableSender& s) { s.on_sync_ack(); });
-        } else if constexpr (std::is_same_v<T, LostPacket>) {
-          dispatch_to_sender(p.route.origin, p.seq,
-                             [&p](ReliableSender& s) { s.on_lost(p.missing); });
-        } else if constexpr (std::is_same_v<T, DonePacket>) {
-          dispatch_to_sender(p.route.origin, p.seq,
-                             [](ReliableSender& s) { s.on_done(); });
-        } else if constexpr (std::is_same_v<T, AckedDataPacket>) {
-          // Acknowledge first — even duplicates, since a duplicate means
-          // our previous ACK was lost somewhere on the way back.
-          AckPacket ack;
-          ack.link = LinkHeader{kUnassigned, address_, PacketType::Ack};
-          ack.route = make_route(p.route.origin);
-          ack.acked_id = p.route.packet_id;
-          stats_.acks_sent++;
-          if (tracer_ != nullptr) {
-            trace_packet(trace::EventKind::AckSent, packet);
-          }
-          submit_control(Packet{ack});
-          if (acked_seen_before(p.route.origin, p.route.packet_id)) {
-            stats_.acked_duplicates++;
-            if (tracer_ != nullptr) {
-              trace_packet(trace::EventKind::DuplicateDeliver, packet,
-                           trace::DropReason::Duplicate);
-            }
-            return;
-          }
-          stats_.acked_delivered++;
-          if (tracer_ != nullptr) {
-            trace_packet(trace::EventKind::Deliver, packet);
-          }
-          if (datagram_handler_) {
-            datagram_handler_(p.route.origin, p.payload,
-                              static_cast<std::uint8_t>(p.route.hops + 1));
-          }
-        } else if constexpr (std::is_same_v<T, AckPacket>) {
-          const auto it = pending_acks_.find(p.acked_id);
-          if (it != pending_acks_.end() &&
-              it->second.packet.route.final_dst == p.route.origin) {
-            finish_acked(p.acked_id, true);
-          }
-        } else if constexpr (std::is_same_v<T, RoutingPacket>) {
-          LM_ASSERT(false);  // handled before consume()
-        }
-      },
-      packet);
-}
-
-void MeshNode::forward(Packet packet) {
-  RouteHeader* route = route_of(packet);
-  LM_ASSERT(route != nullptr);
-  if (route->ttl <= 1) {
-    stats_.dropped_ttl++;
-    if (tracer_ != nullptr) {
-      trace_packet(trace::EventKind::Drop, packet,
-                   trace::DropReason::TtlExpired);
-    }
-    return;
-  }
-  if (!table_.has_route(route->final_dst)) {
-    stats_.dropped_no_route++;
-    if (tracer_ != nullptr) {
-      trace_packet(trace::EventKind::Drop, packet, trace::DropReason::NoRoute);
-    }
-    return;
-  }
-  route->ttl--;
-  route->hops++;
-  LinkHeader& link = link_of(packet);
-  link.src = address_;
-  link.dst = kUnassigned;  // resolved at transmit time
-  stats_.packets_forwarded++;
-  if (tracer_ != nullptr) trace_packet(trace::EventKind::Forward, packet);
-  const bool control = is_control_plane(packet);
-  if (config_.forward_jitter > Duration::zero()) {
-    const Duration delay = Duration::from_seconds(
-        rng_.uniform(0.0, config_.forward_jitter.seconds_d()));
-    sim_.schedule_after(delay, [this, control, p = std::move(packet)]() mutable {
-      if (running_) enqueue(std::move(p), control);
-    });
-  } else {
-    enqueue(std::move(packet), control);
-  }
-}
-
-// --- Beacons & maintenance ------------------------------------------------------------
-
-void MeshNode::schedule_next_beacon(bool first) {
-  Duration delay;
-  if (first) {
-    delay = Duration::from_seconds(
-        rng_.uniform(0.0, config_.hello_interval.seconds_d()));
-  } else if (config_.hello_jitter > 0.0) {
-    delay = config_.hello_interval *
-            rng_.uniform(1.0 - config_.hello_jitter, 1.0 + config_.hello_jitter);
-  } else {
-    delay = config_.hello_interval;
-  }
-  beacon_timer_ = sim_.schedule_after(delay, [this] {
-    beacon_timer_ = 0;
-    send_beacon();
-  });
-}
-
-void MeshNode::send_beacon() {
-  if (!running_) return;
-  RoutingPacket p;
-  p.link = LinkHeader{kBroadcast, address_, PacketType::Routing};
-  p.entries = table_.advertisement();
-  // Dwell rule: trim the advertisement (farthest destinations first — the
-  // list is sorted by address, so re-trim via encoded size from the back).
-  while (!p.entries.empty() &&
-         kLinkHeaderSize + 1 + 4 * p.entries.size() > max_frame_bytes_) {
-    p.entries.pop_back();
-  }
-  stats_.beacons_sent++;
-  enqueue(Packet{std::move(p)}, /*control=*/true);
-  schedule_next_beacon(/*first=*/false);
-}
-
-void MeshNode::gc_sessions() {
-  for (auto it = tx_sessions_.begin(); it != tx_sessions_.end();) {
-    if (it->second->finished()) {
-      // Final accounting before the session disappears.
-      stats_.fragments_retransmitted += it->second->fragments_retransmitted();
-      it = tx_sessions_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  std::erase_if(rx_sessions_, [](const auto& kv) { return kv.second->expired(); });
+  transport_.on_deliver(std::move(packet));
 }
 
 }  // namespace lm::net

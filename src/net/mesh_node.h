@@ -1,43 +1,45 @@
-// MeshNode — the LoRaMesher node: one radio, one routing table, the packet
-// queues and the protocol state machines that make a set of LoRa devices
-// behave as a mesh.
+// MeshNode — the LoRaMesher node: a thin facade over the layered protocol
+// stack that makes a set of LoRa devices behave as a mesh.
 //
-// Responsibilities, matching the library the paper demonstrates:
-//  * periodically broadcast the routing table (distance-vector beacons,
-//    with node roles) and merge received beacons (RoutingTable),
-//    optionally gated on smoothed received SNR;
-//  * originate, forward and deliver routed unicast packets, with TTL and
-//    hop accounting; single-hop broadcasts (neighbor-local, not forwarded);
-//  * acked datagrams (NEED_ACK: end-to-end ACK + retransmission + dedup)
-//    and reliable large-payload transfers via the SYNC/FRAGMENT/LOST/DONE
-//    machinery (ReliableSender / ReliableReceiver sessions, capped);
-//  * channel access: soft carrier sense, CAD listen-before-talk with
-//    exponential random backoff, a two-priority transmit queue (control
-//    before data), a sliding-window duty-cycle limiter that defers
-//    over-budget transmissions, and an optional US915-style dwell cap;
-//  * optional duty-cycled listening (rx_duty) for the energy experiments.
+// The stack mirrors the cooperating pieces of the library the paper
+// demonstrates:
+//  * LinkLayer — the service loop arbitrating one half-duplex radio:
+//    RX-default, CAD listen-before-talk with exponential backoff, the
+//    two-priority transmit queue, the sliding-window duty-cycle budget,
+//    the US915-style dwell cap and duty-cycled listening (rx_duty);
+//  * NetworkLayer — origination, routing table and routed-packet dispatch
+//    behind a pluggable RoutingStrategy (default: the prototype's
+//    hop-count distance-vector beacons; alternative: controlled flooding);
+//  * TransportLayer — end-to-end machinery: acked datagrams (NEED_ACK)
+//    and reliable large-payload transfers (SYNC/FRAGMENT/LOST/DONE
+//    sessions via ReliableSender / ReliableReceiver).
+//
+// The facade owns the shared LayerContext (one RNG, one stats block, one
+// config, one tracer hook), wires the layers together, runs the
+// maintenance loop and routes deliveries to the application handlers. Its
+// public API is unchanged from the pre-split monolith.
 //
 // Threading model: none. Everything runs as events on the owning Simulator,
 // mirroring how the original runs as FreeRTOS tasks woken by radio IRQs.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "net/address.h"
 #include "net/config.h"
 #include "net/duty_cycle.h"
+#include "net/layer_context.h"
+#include "net/link_layer.h"
+#include "net/network_layer.h"
 #include "net/packet.h"
 #include "net/packet_sink.h"
-#include "net/reliable_receiver.h"
-#include "net/reliable_sender.h"
+#include "net/routing_strategy.h"
 #include "net/routing_table.h"
+#include "net/transport_layer.h"
 #include "radio/radio_interface.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
@@ -45,53 +47,7 @@
 
 namespace lm::net {
 
-/// Cumulative per-node protocol counters.
-struct NodeStats {
-  // Control plane.
-  std::uint64_t beacons_sent = 0;
-  std::uint64_t beacons_received = 0;
-  std::uint64_t routing_changes = 0;  // beacons that changed the table
-  // Data plane.
-  std::uint64_t datagrams_sent = 0;       // originated here
-  std::uint64_t datagrams_delivered = 0;  // consumed here as final destination
-  std::uint64_t broadcasts_sent = 0;
-  std::uint64_t broadcasts_delivered = 0;
-  std::uint64_t packets_forwarded = 0;
-  std::uint64_t dropped_no_route = 0;
-  std::uint64_t dropped_ttl = 0;
-  std::uint64_t dropped_queue_full = 0;
-  std::uint64_t malformed_frames = 0;
-  std::uint64_t foreign_frames = 0;  // overheard unicast for someone else
-  std::uint64_t beacons_ignored_low_quality = 0;  // link-quality gating
-  // Channel access.
-  std::uint64_t cad_busy_events = 0;
-  std::uint64_t forced_transmissions = 0;  // CAD retries exhausted
-  std::uint64_t duty_cycle_delays = 0;
-  // Byte/airtime accounting, split by plane (E3 overhead decomposition):
-  // control = ROUTING + ARQ control; data = DATA + FRAGMENT.
-  std::uint64_t control_bytes_sent = 0;
-  std::uint64_t data_bytes_sent = 0;
-  Duration control_airtime;
-  Duration data_airtime;
-  // Acked datagrams.
-  std::uint64_t acked_sent = 0;          // originated here
-  std::uint64_t acked_confirmed = 0;     // ACK came back
-  std::uint64_t acked_failed = 0;        // retries exhausted
-  std::uint64_t acked_retransmissions = 0;
-  std::uint64_t acked_delivered = 0;     // consumed here (deduplicated)
-  std::uint64_t acked_duplicates = 0;    // retransmissions we had already seen
-  std::uint64_t acks_sent = 0;
-  // Reliable transfers.
-  std::uint64_t transfers_started = 0;
-  std::uint64_t transfers_completed = 0;
-  std::uint64_t transfers_failed = 0;
-  std::uint64_t transfers_received = 0;
-  std::uint64_t rx_sessions_rejected = 0;  // SYNCs refused at the session cap
-  std::uint64_t fragments_sent = 0;
-  std::uint64_t fragments_retransmitted = 0;
-};
-
-class MeshNode final : public radio::RadioListener, public PacketSink {
+class MeshNode final : public PacketSink {
  public:
   /// (origin, payload, radio links traversed) — routed datagram reached us.
   /// A direct neighbor's datagram reports 1 hop.
@@ -108,9 +64,11 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   using SendCallback = std::function<void(bool success)>;
 
   /// The node installs itself as the radio's listener. `seed` drives all of
-  /// this node's randomness (jitter, backoff).
+  /// this node's randomness (jitter, backoff). A null `strategy` selects
+  /// the default hop-count distance-vector routing.
   MeshNode(sim::Simulator& sim, radio::Radio& radio, Address address,
-           MeshConfig config, std::uint64_t seed);
+           MeshConfig config, std::uint64_t seed,
+           std::unique_ptr<RoutingStrategy> strategy = nullptr);
   ~MeshNode() override;
 
   MeshNode(const MeshNode&) = delete;
@@ -123,7 +81,7 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   /// Powers down: stops timers, drops queued traffic, fails outstanding
   /// transfers, and puts the radio to sleep (after any in-flight TX/CAD).
   void stop();
-  bool running() const { return running_; }
+  bool running() const { return ctx_.running; }
 
   // --- Application API ---------------------------------------------------------
   /// Sends an unreliable routed datagram (payload <= kMaxDataPayload).
@@ -156,134 +114,55 @@ class MeshNode final : public radio::RadioListener, public PacketSink {
   void set_reliable_handler(PayloadHandler handler) { reliable_handler_ = std::move(handler); }
 
   // --- Introspection -------------------------------------------------------------
-  Address address() const { return address_; }
-  Role role() const { return config_.role; }
-  const RoutingTable& routing_table() const { return table_; }
+  Address address() const { return ctx_.address; }
+  Role role() const { return ctx_.config.role; }
+  const RoutingTable& routing_table() const { return network_.table(); }
+  /// The routing policy in effect (strategy_test swaps this seam).
+  const RoutingStrategy& routing_strategy() const { return network_.strategy(); }
   /// The closest node advertising all bits of `role_mask` (e.g. the nearest
   /// gateway), if any is known.
   std::optional<RouteEntry> nearest_with_role(Role role_mask) const {
-    return table_.nearest_with_role(role_mask);
+    return network_.table().nearest_with_role(role_mask);
   }
   /// Smoothed SNR margin (dB above the demodulation floor) of frames heard
   /// from `neighbor`; nullopt before the first frame.
-  std::optional<double> neighbor_snr_margin_db(Address neighbor) const;
+  std::optional<double> neighbor_snr_margin_db(Address neighbor) const {
+    return link_.snr_margin_db(neighbor);
+  }
   /// Largest application payload one routed datagram may carry —
   /// kMaxDataPayload unless max_dwell_time caps the frame size.
-  std::size_t max_datagram_payload() const;
-  const MeshConfig& config() const { return config_; }
-  const NodeStats& stats() const { return stats_; }
+  std::size_t max_datagram_payload() const {
+    return network_.max_datagram_payload();
+  }
+  const MeshConfig& config() const { return ctx_.config; }
+  const NodeStats& stats() const { return ctx_.stats; }
 
   /// Attaches the flight recorder: every lifecycle step of every packet this
   /// node touches is reported. Null detaches; when detached each
   /// instrumentation site costs a single pointer compare.
   void set_tracer(trace::Tracer* tracer);
-  const DutyCycleLimiter& duty_cycle() const { return duty_; }
+  const DutyCycleLimiter& duty_cycle() const { return link_.duty_cycle(); }
   radio::Radio& radio() { return radio_; }
-  std::size_t queued_packets() const { return control_queue_.size() + data_queue_.size(); }
+  std::size_t queued_packets() const { return link_.queued_packets(); }
 
-  // --- RadioListener -------------------------------------------------------------
-  void on_frame_received(const std::vector<std::uint8_t>& frame,
-                         const radio::FrameMeta& meta) override;
-  void on_tx_done() override;
-  void on_cad_done(bool channel_active) override;
-
-  // --- PacketSink (for reliable sessions) ------------------------------------------
+  // --- PacketSink (also used by tests to inject protocol packets) -------------
   void submit_control(Packet packet) override;
   void submit_data(Packet packet) override;
-  Address self_address() const override { return address_; }
+  Address self_address() const override { return ctx_.address; }
   RouteHeader make_route(Address final_dst) override;
 
  private:
-  enum class TxPhase : std::uint8_t {
-    Idle,         // nothing being transmitted
-    WaitingDuty,  // head-of-line packet deferred by the duty-cycle limiter
-    Cad,          // listen-before-talk in progress
-    Backoff,      // channel was busy; waiting a random interval
-    Transmitting, // frame on the air
-  };
-
-  struct Outgoing {
-    Packet packet;
-    int cad_attempts = 0;
-  };
-
-  // TX pipeline.
-  bool enqueue(Packet packet, bool control);
-  void pump();
-  void channel_busy_backoff();
-  void transmit_now();
-  bool is_control_plane(const Packet& packet) const;
-
-  // RX pipeline.
-  void handle_packet(Packet packet);
-  void handle_routing(const RoutingPacket& packet);
-  void consume(Packet packet);
-  void forward(Packet packet);
-
-  // Reliable session plumbing.
-  using SessionKey = std::pair<Address, std::uint8_t>;  // (peer, seq)
-  void dispatch_to_sender(Address peer, std::uint8_t seq,
-                          const std::function<void(ReliableSender&)>& fn);
-  void gc_sessions();
-
-  // Acked-datagram plumbing.
-  struct PendingAck {
-    AckedDataPacket packet;  // link.dst left unresolved for each attempt
-    int attempts = 0;
-    sim::TimerId timer = 0;
-    SendCallback done;
-  };
-  void transmit_acked_attempt(std::uint16_t packet_id);
-  void on_acked_timeout(std::uint16_t packet_id);
-  void finish_acked(std::uint16_t packet_id, bool success);
-  bool acked_seen_before(Address origin, std::uint16_t packet_id);
-
-  // Flight-recorder plumbing. Callers guard on tracer_ != nullptr so the
-  // untraced hot path never pays for argument evaluation.
-  void trace_packet(trace::EventKind kind, const Packet& packet,
-                    trace::DropReason reason = trace::DropReason::None,
-                    std::int64_t aux_us = 0, double value = 0.0);
-  void trace_refusal(PacketType type, Address dst, std::size_t bytes,
-                     trace::DropReason reason);
-
-  // Beaconing and maintenance.
-  void schedule_next_beacon(bool first);
-  void send_beacon();
+  /// Routed-packet delivery from the network layer: plain datagrams and
+  /// broadcasts go to the application, everything else to the transport.
+  void deliver(Packet packet);
   void start_maintenance_loop();
-  void notify_fragment_progress(const Packet& packet);
-  void resume_radio();
-  void schedule_rx_cycle();
 
-  sim::Simulator& sim_;
   radio::Radio& radio_;
-  const Address address_;
-  MeshConfig config_;
-  Rng rng_;
-  RoutingTable table_;
-  DutyCycleLimiter duty_;
-  NodeStats stats_;
-  trace::Tracer* tracer_ = nullptr;
-
-  bool running_ = false;
-  TxPhase tx_phase_ = TxPhase::Idle;
-  std::deque<Packet> control_queue_;
-  std::deque<Packet> data_queue_;
-  std::optional<Outgoing> current_;
-  sim::TimerId beacon_timer_ = 0;
+  LayerContext ctx_;
+  LinkLayer link_;
+  NetworkLayer network_;
+  TransportLayer transport_;
   sim::TimerId maintenance_timer_ = 0;
-  sim::TimerId pipeline_timer_ = 0;  // duty-wait or backoff wakeup
-  sim::TimerId rx_cycle_timer_ = 0;  // duty-cycled listening toggles
-  bool rx_window_open_ = true;       // whether the schedule says "listen"
-  std::uint16_t next_packet_id_ = 1;
-  std::uint8_t next_transfer_seq_ = 0;
-  std::size_t max_frame_bytes_ = 255;  // dwell-capped frame size
-
-  std::map<SessionKey, std::unique_ptr<ReliableSender>> tx_sessions_;
-  std::map<SessionKey, std::unique_ptr<ReliableReceiver>> rx_sessions_;
-  std::map<Address, double> neighbor_snr_margin_;  // EWMA, dB above floor
-  std::map<std::uint16_t, PendingAck> pending_acks_;  // by our packet_id
-  std::set<std::pair<Address, std::uint16_t>> acked_seen_;
-  std::deque<std::pair<Address, std::uint16_t>> acked_seen_order_;
 
   DatagramHandler datagram_handler_;
   BroadcastHandler broadcast_handler_;

@@ -305,4 +305,10 @@ std::string describe(const Packet& packet) {
   return buf;
 }
 
+bool is_control_plane(const Packet& packet) {
+  const PacketType t = link_of(packet).type;
+  return t != PacketType::Data && t != PacketType::Fragment &&
+         t != PacketType::AckedData;
+}
+
 }  // namespace lm::net

@@ -208,4 +208,8 @@ std::size_t encoded_size(const Packet& packet);
 /// One-line human rendering for traces.
 std::string describe(const Packet& packet);
 
+/// Queue priority: everything except DATA / FRAGMENT / ACKED_DATA is
+/// control plane (beacons and ARQ control jump the data queue).
+bool is_control_plane(const Packet& packet);
+
 }  // namespace lm::net

@@ -1,0 +1,70 @@
+// RoutingStrategy — the swappable seam of the network layer.
+//
+// The paper's prototype routes with a hop-count distance-vector protocol,
+// but related work varies exactly this axis (position/energy-aware metrics,
+// managed flooding). A strategy owns the routing *policy*: what to do with
+// a received routing beacon, how to dispatch a routed packet
+// (deliver/forward/flood), how to resolve the next hop at transmit time and
+// whether an origination is currently routable. Everything mechanical —
+// queues, CAD/backoff, duty cycle, sessions — lives in the shared layers
+// and is reused unchanged across strategies.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "net/layer_context.h"
+#include "net/link_layer.h"
+#include "net/packet.h"
+#include "net/routing_table.h"
+
+namespace lm::net {
+
+class RoutingStrategy {
+ public:
+  /// Hands a packet up the stack for local consumption (the facade routes
+  /// it to the application or the transport layer).
+  using DeliverFn = std::function<void(Packet)>;
+
+  virtual ~RoutingStrategy() = default;
+
+  /// Wires the strategy into its owning stack; called exactly once by
+  /// NetworkLayer before any other method.
+  void attach(LayerContext& ctx, LinkLayer& link, RoutingTable& table,
+              DeliverFn deliver) {
+    ctx_ = &ctx;
+    link_ = &link;
+    table_ = &table;
+    deliver_ = std::move(deliver);
+  }
+
+  /// Node powered up: start periodic control traffic (e.g. beacons).
+  virtual void start() {}
+  /// Node powered down: cancel the strategy's timers.
+  virtual void stop() {}
+
+  virtual const char* name() const = 0;
+
+  /// Whether an origination toward `dst` can currently be carried.
+  virtual bool has_route(Address dst) const = 0;
+  /// Whether kBroadcast is a valid datagram destination (multi-hop flood
+  /// strategies say yes; unicast routing says no).
+  virtual bool allows_broadcast_destination() const { return false; }
+
+  /// A routing-plane packet arrived (already counted in beacons_received).
+  virtual void on_routing(const RoutingPacket& packet) = 0;
+  /// A routed packet arrived addressed to us or broadcast: deliver, forward
+  /// or flood according to policy.
+  virtual void handle(Packet packet) = 0;
+  /// Late next-hop resolution for queued packets with dst == kUnassigned;
+  /// nullopt drops the packet at the link layer.
+  virtual std::optional<Address> resolve_next_hop(const RouteHeader& route) = 0;
+
+ protected:
+  LayerContext* ctx_ = nullptr;
+  LinkLayer* link_ = nullptr;
+  RoutingTable* table_ = nullptr;
+  DeliverFn deliver_;
+};
+
+}  // namespace lm::net

@@ -1,0 +1,351 @@
+#include "net/transport_layer.h"
+
+#include <variant>
+
+#include "support/assert.h"
+
+namespace lm::net {
+
+TransportLayer::TransportLayer(LayerContext& ctx, LinkLayer& link,
+                               NetworkLayer& network, Delivery delivery)
+    : ctx_(ctx), link_(link), network_(network), delivery_(std::move(delivery)) {}
+
+TransportLayer::~TransportLayer() {
+  for (auto& [id, pending] : pending_acks_) {
+    if (pending.timer != 0) ctx_.sim.cancel(pending.timer);
+  }
+}
+
+void TransportLayer::shutdown() {
+  // Outstanding sends fail now; receive sessions just disappear (their
+  // senders will give up after their poll budget).
+  for (auto& [key, sender] : tx_sessions_) sender->abort();
+  tx_sessions_.clear();
+  rx_sessions_.clear();
+  while (!pending_acks_.empty()) {
+    finish_acked(pending_acks_.begin()->first, false);
+  }
+}
+
+// --- PacketSink -------------------------------------------------------------------
+
+void TransportLayer::submit_control(Packet packet) {
+  link_.enqueue(std::move(packet), /*control=*/true);
+}
+
+void TransportLayer::submit_data(Packet packet) {
+  // enqueue() reports a dropped fragment back to its sender session
+  // (notify_fragment_progress), so a full queue cannot deadlock the
+  // sender's pacing loop; end-to-end repair recovers the payload.
+  link_.enqueue(std::move(packet), /*control=*/false);
+}
+
+// --- Acked datagrams --------------------------------------------------------------
+
+bool TransportLayer::send_acked(Address destination,
+                                std::vector<std::uint8_t> payload,
+                                SendCallback done, trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (ctx_.tracer != nullptr) {
+      ctx_.trace_refusal(PacketType::AckedData, destination, payload.size(),
+                         reason);
+    }
+    return false;
+  };
+  if (!ctx_.running) return refuse(trace::DropReason::NotRunning);
+  if (destination == ctx_.address || destination == kUnassigned ||
+      destination == kBroadcast) {
+    return refuse(trace::DropReason::InvalidDestination);
+  }
+  if (payload.size() > network_.max_datagram_payload()) {
+    return refuse(trace::DropReason::PayloadTooLarge);
+  }
+  if (!network_.has_route(destination)) {
+    ctx_.stats.dropped_no_route++;
+    return refuse(trace::DropReason::NoRoute);
+  }
+  AckedDataPacket p;
+  p.link = LinkHeader{kUnassigned, ctx_.address, PacketType::AckedData};
+  p.route = network_.make_route(destination);
+  p.payload = std::move(payload);
+  const std::uint16_t id = p.route.packet_id;
+  LM_ASSERT(!pending_acks_.contains(id));  // 16-bit id space, tiny windows
+  if (ctx_.tracer != nullptr) {
+    ctx_.trace_packet(trace::EventKind::AppSubmit, Packet{p});
+  }
+  PendingAck pending;
+  pending.packet = std::move(p);
+  pending.done = std::move(done);
+  pending_acks_.emplace(id, std::move(pending));
+  ctx_.stats.acked_sent++;
+  transmit_acked_attempt(id);
+  return true;
+}
+
+void TransportLayer::transmit_acked_attempt(std::uint16_t packet_id) {
+  const auto it = pending_acks_.find(packet_id);
+  LM_ASSERT(it != pending_acks_.end());
+  it->second.attempts++;
+  // Fresh copy per attempt: the queue owns (and resolves) its own instance.
+  link_.enqueue(Packet{it->second.packet}, /*control=*/false);
+  // Jittered retry: simultaneous senders must not retransmit in lockstep.
+  it->second.timer = ctx_.sim.schedule_after(
+      ctx_.config.acked_retry_timeout * ctx_.rng.uniform(0.9, 1.4),
+      [this, packet_id] { on_acked_timeout(packet_id); });
+}
+
+void TransportLayer::on_acked_timeout(std::uint16_t packet_id) {
+  const auto it = pending_acks_.find(packet_id);
+  if (it == pending_acks_.end()) return;
+  it->second.timer = 0;
+  if (it->second.attempts > ctx_.config.acked_max_retries) {
+    finish_acked(packet_id, false);
+    return;
+  }
+  ctx_.stats.acked_retransmissions++;
+  if (ctx_.tracer != nullptr) {
+    ctx_.trace_packet(trace::EventKind::AckedRetry, Packet{it->second.packet},
+                      trace::DropReason::None, it->second.attempts);
+  }
+  transmit_acked_attempt(packet_id);
+}
+
+void TransportLayer::finish_acked(std::uint16_t packet_id, bool success) {
+  const auto it = pending_acks_.find(packet_id);
+  if (it == pending_acks_.end()) return;
+  if (it->second.timer != 0) ctx_.sim.cancel(it->second.timer);
+  if (ctx_.tracer != nullptr) {
+    ctx_.trace_packet(success ? trace::EventKind::AckedConfirmed
+                              : trace::EventKind::Drop,
+                      Packet{it->second.packet},
+                      success ? trace::DropReason::None
+                              : trace::DropReason::RetriesExhausted);
+  }
+  SendCallback done = std::move(it->second.done);
+  pending_acks_.erase(it);
+  if (success) {
+    ctx_.stats.acked_confirmed++;
+  } else {
+    ctx_.stats.acked_failed++;
+  }
+  if (done) done(success);
+}
+
+bool TransportLayer::acked_seen_before(Address origin, std::uint16_t packet_id) {
+  const auto key = std::pair{origin, packet_id};
+  if (acked_seen_.contains(key)) return true;
+  acked_seen_.insert(key);
+  acked_seen_order_.push_back(key);
+  while (acked_seen_order_.size() > ctx_.config.acked_dedup_cache) {
+    acked_seen_.erase(acked_seen_order_.front());
+    acked_seen_order_.pop_front();
+  }
+  return false;
+}
+
+// --- Reliable transfers -----------------------------------------------------------
+
+bool TransportLayer::send_reliable(Address destination,
+                                   std::vector<std::uint8_t> payload,
+                                   SendCallback done, trace::DropReason* why) {
+  const auto refuse = [&](trace::DropReason reason) {
+    if (why != nullptr) *why = reason;
+    if (ctx_.tracer != nullptr) {
+      ctx_.trace_refusal(PacketType::Sync, destination, payload.size(), reason);
+    }
+    return false;
+  };
+  if (!ctx_.running) return refuse(trace::DropReason::NotRunning);
+  if (destination == ctx_.address || destination == kUnassigned ||
+      destination == kBroadcast) {
+    return refuse(trace::DropReason::InvalidDestination);
+  }
+  if (payload.empty() ||
+      payload.size() > ctx_.config.max_fragment_payload * 0xFFFFULL) {
+    return refuse(trace::DropReason::PayloadTooLarge);
+  }
+  if (!network_.has_route(destination)) {
+    ctx_.stats.dropped_no_route++;
+    return refuse(trace::DropReason::NoRoute);
+  }
+  // Allocate a transfer sequence number free for this destination.
+  std::optional<std::uint8_t> seq;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t candidate = next_transfer_seq_++;
+    if (!tx_sessions_.contains({destination, candidate})) {
+      seq = candidate;
+      break;
+    }
+  }
+  // 256 concurrent transfers to one peer exhausts the sequence space.
+  if (!seq) return refuse(trace::DropReason::SessionLimit);
+  ctx_.stats.transfers_started++;
+  if (ctx_.tracer != nullptr) {
+    trace::TraceEvent e;
+    e.t_us = ctx_.sim.now().us();
+    e.node = ctx_.address;
+    e.kind = trace::EventKind::TransferStart;
+    e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+    e.origin = ctx_.address;
+    e.final_dst = destination;
+    e.packet_id = *seq;
+    e.bytes = static_cast<std::uint32_t>(payload.size());
+    ctx_.tracer->emit(e);
+  }
+  auto completion = [this, done = std::move(done)](bool success) {
+    if (success) {
+      ctx_.stats.transfers_completed++;
+    } else {
+      ctx_.stats.transfers_failed++;
+    }
+    if (done) done(success);
+  };
+  tx_sessions_.emplace(
+      SessionKey{destination, *seq},
+      std::make_unique<ReliableSender>(ctx_.sim, *this, ctx_.config,
+                                       destination, *seq, std::move(payload),
+                                       std::move(completion), ctx_.rng.next_u64(),
+                                       ctx_.tracer, ctx_.address));
+  return true;
+}
+
+void TransportLayer::dispatch_to_sender(
+    Address peer, std::uint8_t seq,
+    const std::function<void(ReliableSender&)>& fn) {
+  const auto it = tx_sessions_.find({peer, seq});
+  if (it == tx_sessions_.end()) return;  // stale control for a finished transfer
+  fn(*it->second);
+  gc_sessions();
+}
+
+void TransportLayer::notify_fragment_progress(const Packet& packet) {
+  const auto* fragment = std::get_if<FragmentPacket>(&packet);
+  if (fragment == nullptr || fragment->route.origin != ctx_.address) return;
+  const auto it = tx_sessions_.find({fragment->route.final_dst, fragment->seq});
+  if (it != tx_sessions_.end()) {
+    it->second->on_fragment_transmitted(fragment->index);
+  }
+}
+
+void TransportLayer::gc_sessions() {
+  for (auto it = tx_sessions_.begin(); it != tx_sessions_.end();) {
+    if (it->second->finished()) {
+      // Final accounting before the session disappears.
+      ctx_.stats.fragments_retransmitted += it->second->fragments_retransmitted();
+      it = tx_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(rx_sessions_, [](const auto& kv) { return kv.second->expired(); });
+}
+
+// --- RX dispatch ------------------------------------------------------------------
+
+void TransportLayer::on_deliver(Packet packet) {
+  std::visit(
+      [this, &packet](auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, SyncPacket>) {
+          const SessionKey key{p.route.origin, p.seq};
+          auto it = rx_sessions_.find(key);
+          if (it != rx_sessions_.end() && it->second->expired()) {
+            rx_sessions_.erase(it);
+            it = rx_sessions_.end();
+          }
+          if (it != rx_sessions_.end()) {
+            it->second->on_sync(p);
+            return;
+          }
+          if (p.fragment_count == 0) return;  // malformed announcement
+          if (rx_sessions_.size() >= ctx_.config.max_rx_sessions) {
+            gc_sessions();  // expired sessions may be holding slots
+          }
+          if (rx_sessions_.size() >= ctx_.config.max_rx_sessions) {
+            ctx_.stats.rx_sessions_rejected++;
+            if (ctx_.tracer != nullptr) {
+              ctx_.trace_packet(trace::EventKind::Drop, packet,
+                                trace::DropReason::SessionLimit);
+            }
+            return;  // no SYNC_ACK: the sender will retry and may find room
+          }
+          auto delivery = [this, seq = p.seq](Address origin,
+                                              std::vector<std::uint8_t> payload) {
+            ctx_.stats.transfers_received++;
+            if (ctx_.tracer != nullptr) {
+              trace::TraceEvent e;
+              e.t_us = ctx_.sim.now().us();
+              e.node = ctx_.address;
+              e.kind = trace::EventKind::Deliver;
+              e.packet_type = static_cast<std::uint8_t>(PacketType::Sync);
+              e.origin = origin;
+              e.final_dst = ctx_.address;
+              e.packet_id = seq;
+              e.bytes = static_cast<std::uint32_t>(payload.size());
+              ctx_.tracer->emit(e);
+            }
+            if (delivery_.reliable) delivery_.reliable(origin, std::move(payload));
+          };
+          rx_sessions_.emplace(
+              key, std::make_unique<ReliableReceiver>(
+                       ctx_.sim, *this, ctx_.config, p.route.origin, p,
+                       std::move(delivery), ctx_.tracer, ctx_.address));
+        } else if constexpr (std::is_same_v<T, FragmentPacket>) {
+          const auto it = rx_sessions_.find(SessionKey{p.route.origin, p.seq});
+          if (it != rx_sessions_.end()) it->second->on_fragment(p);
+        } else if constexpr (std::is_same_v<T, PollPacket>) {
+          const auto it = rx_sessions_.find(SessionKey{p.route.origin, p.seq});
+          if (it != rx_sessions_.end()) it->second->on_poll();
+        } else if constexpr (std::is_same_v<T, SyncAckPacket>) {
+          dispatch_to_sender(p.route.origin, p.seq,
+                             [](ReliableSender& s) { s.on_sync_ack(); });
+        } else if constexpr (std::is_same_v<T, LostPacket>) {
+          dispatch_to_sender(p.route.origin, p.seq,
+                             [&p](ReliableSender& s) { s.on_lost(p.missing); });
+        } else if constexpr (std::is_same_v<T, DonePacket>) {
+          dispatch_to_sender(p.route.origin, p.seq,
+                             [](ReliableSender& s) { s.on_done(); });
+        } else if constexpr (std::is_same_v<T, AckedDataPacket>) {
+          // Acknowledge first — even duplicates, since a duplicate means
+          // our previous ACK was lost somewhere on the way back.
+          AckPacket ack;
+          ack.link = LinkHeader{kUnassigned, ctx_.address, PacketType::Ack};
+          ack.route = network_.make_route(p.route.origin);
+          ack.acked_id = p.route.packet_id;
+          ctx_.stats.acks_sent++;
+          if (ctx_.tracer != nullptr) {
+            ctx_.trace_packet(trace::EventKind::AckSent, packet);
+          }
+          submit_control(Packet{ack});
+          if (acked_seen_before(p.route.origin, p.route.packet_id)) {
+            ctx_.stats.acked_duplicates++;
+            if (ctx_.tracer != nullptr) {
+              ctx_.trace_packet(trace::EventKind::DuplicateDeliver, packet,
+                                trace::DropReason::Duplicate);
+            }
+            return;
+          }
+          ctx_.stats.acked_delivered++;
+          if (ctx_.tracer != nullptr) {
+            ctx_.trace_packet(trace::EventKind::Deliver, packet);
+          }
+          if (delivery_.datagram) {
+            delivery_.datagram(p.route.origin, p.payload,
+                               static_cast<std::uint8_t>(p.route.hops + 1));
+          }
+        } else if constexpr (std::is_same_v<T, AckPacket>) {
+          const auto it = pending_acks_.find(p.acked_id);
+          if (it != pending_acks_.end() &&
+              it->second.packet.route.final_dst == p.route.origin) {
+            finish_acked(p.acked_id, true);
+          }
+        } else if constexpr (std::is_same_v<T, DataPacket> ||
+                             std::is_same_v<T, RoutingPacket>) {
+          LM_ASSERT(false);  // handled before on_deliver()
+        }
+      },
+      packet);
+}
+
+}  // namespace lm::net

@@ -39,7 +39,8 @@ std::size_t MeshScenario::add_node(phy::Position position, net::Role role) {
   node_config.role = role;
   nodes_.push_back(std::make_unique<net::MeshNode>(
       sim_, *radios_.back(), address, node_config,
-      config_.seed * 0x9E3779B97F4A7C15ULL + index + 1));
+      config_.seed * 0x9E3779B97F4A7C15ULL + index + 1,
+      config_.strategy_factory ? config_.strategy_factory() : nullptr));
   if (tracer_ != nullptr) {
     radios_.back()->set_tracer(tracer_);
     nodes_.back()->set_tracer(tracer_);

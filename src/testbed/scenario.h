@@ -32,6 +32,10 @@ struct ScenarioConfig {
   radio::ChannelConfig channel;
   radio::RadioConfig radio;  // modulation, frequency, power shared by all nodes
   net::MeshConfig mesh;
+  /// Routing-strategy factory, called once per added node. Null (default)
+  /// selects the hop-count distance-vector protocol; strategy_test swaps in
+  /// net::FloodingStrategy to compare policies over the identical stack.
+  std::function<std::unique_ptr<net::RoutingStrategy>()> strategy_factory;
 };
 
 /// Applies a regional band plan to a scenario config: tunes the radio to

@@ -50,6 +50,18 @@ void run_and_check(MeshScenario& scenario, VectorSink& sink,
   forward.stop();
   reverse.stop();
 
+  // Per-cause refusal accounting must survive the facade seams: every
+  // refusal the traffic harness saw carried a concrete DropReason out of
+  // send_datagram (never None), and the per-cause ledger sums back to the
+  // total refusal count.
+  std::uint64_t by_cause_total = 0;
+  for (const auto& [reason, count] : tracker.refusals_by_cause()) {
+    EXPECT_NE(reason, trace::DropReason::None)
+        << label << " seed " << seed << ": refusal with no cause";
+    by_cause_total += count;
+  }
+  EXPECT_EQ(by_cause_total, tracker.refused()) << label << " seed " << seed;
+
   TraceAnalyzer analyzer(sink.take());
   EXPECT_GT(analyzer.events().size(), 50u) << label;
   InvariantOptions opts;
